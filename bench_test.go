@@ -1,0 +1,266 @@
+package reform
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// benchParams is the paper's setting shrunk 4x (50 peers) so each
+// bench iteration regenerates a full experiment in tens of
+// milliseconds. cmd/reform runs the full 200-peer evaluation; the
+// benches measure the same code paths end to end.
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams().Scaled(4)
+	p.MaxRounds = 150
+	return p
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(p)
+		if len(res.Cells) != 24 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+func BenchmarkTable1SameCategory(b *testing.B) {
+	benchScenarioRun(b, experiments.SameCategory)
+}
+
+func BenchmarkTable1DifferentCategory(b *testing.B) {
+	benchScenarioRun(b, experiments.DifferentCategory)
+}
+
+func BenchmarkTable1Uniform(b *testing.B) {
+	benchScenarioRun(b, experiments.Uniform)
+}
+
+func benchScenarioRun(b *testing.B, sc experiments.Scenario) {
+	p := benchParams()
+	sys := experiments.Build(p, sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rpt := experiments.RunProtocol(sys, experiments.InitSingletons, core.NewSelfish(), p.Seed)
+		_ = rpt.FinalSCost
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(p, 10)
+		if r.SCost.Len() != 11 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(p)
+		if r.UpdatedPeers.Len() != 11 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3(p)
+		if r.UpdatedData.Len() != 11 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(p, nil)
+		if r.Len() != 11 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// --- Ablations and extensions -------------------------------------------
+
+func BenchmarkNashCheck(b *testing.B) {
+	inst := core.NewTwoPeerInstance(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.VerifyNoNash(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThetaAblation(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunThetaAblation(p)
+	}
+}
+
+func BenchmarkEpsilonAblation(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunEpsilonAblation(p)
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunHybridComparison(p)
+	}
+}
+
+func BenchmarkPairedDemandAblation(b *testing.B) {
+	p := benchParams()
+	p.MaxRounds = 60 // the chain variant never converges; bound it
+	for i := 0; i < b.N; i++ {
+		experiments.RunPairedDemandAblation(p)
+	}
+}
+
+func BenchmarkAsync(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunAsyncComparison(p)
+	}
+}
+
+func BenchmarkBaseline(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunBaselineComparison(p)
+	}
+}
+
+func BenchmarkChurn(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunChurn(p, 5, 0.05)
+	}
+}
+
+func BenchmarkLookupCost(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunLookupCost(p)
+	}
+}
+
+// --- Microbenchmarks of the hot paths ------------------------------------
+
+func BenchmarkEngineRebuild(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	eng := sys.NewEngine(sys.CategoryConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Rebuild()
+	}
+}
+
+func BenchmarkEvaluateMoves(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(1)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluateMoves(i % p.Peers)
+	}
+}
+
+func BenchmarkEvaluateContribution(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(2)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluateContribution(i % p.Peers)
+	}
+}
+
+func BenchmarkEngineMove(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(3)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Move(i%p.Peers, cluster.CID(i%10))
+	}
+}
+
+func BenchmarkSCost(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	eng := sys.NewEngine(sys.CategoryConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.SCostNormalized()
+	}
+}
+
+func BenchmarkProtocolRound(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(4)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	runner := sys.NewRunner(eng, core.NewSelfish(), true)
+	runner.BeginPeriod()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.RunRound(i + 1)
+	}
+}
+
+func BenchmarkActorSimPeriod(b *testing.B) {
+	p := benchParams()
+	p.Peers = 30 // message volume is quadratic
+	p.TotalQueries = 120
+	sys := experiments.Build(p, experiments.SameCategory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(uint64(i))
+		cfg := sys.InitialConfig(experiments.InitRandomM, rng)
+		s := sim.New(sys.Peers, sys.WL, cfg, sim.Options{
+			Alpha: p.Alpha, Theta: p.Theta, Epsilon: p.Epsilon,
+			MaxRounds: 30, Strategy: sim.Selfish,
+		})
+		s.RunPeriod()
+	}
+}
+
+func BenchmarkKMeansRecluster(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(uint64(i)))
+	}
+}
+
+func BenchmarkSystemBuild(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.Build(p, experiments.SameCategory)
+	}
+}

@@ -1,0 +1,117 @@
+// Command reform regenerates the paper's evaluation: every table and
+// figure of §4 plus the ablations and extensions listed in DESIGN.md.
+//
+// Usage:
+//
+//	reform -exp table1            # one experiment
+//	reform -exp all               # the whole evaluation
+//	reform -exp fig2 -seed 7 -csv # CSV output for plotting
+//
+// Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
+// epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
+// churn, lookup, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see package doc; 'all' runs everything)")
+	seed := flag.Uint64("seed", 1, "random seed; every experiment is deterministic per seed")
+	scale := flag.Int("scale", 1, "shrink factor for quick runs (peers and queries divided by it)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "render crude ASCII plots for figure series")
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Seed = *seed
+	p = p.Scaled(*scale)
+
+	out := &printer{csv: *csv, plot: *plot}
+	known := map[string]func(){
+		"table1":         func() { out.table(experiments.RunTable1(p).Table()) },
+		"fig1":           func() { r := experiments.RunFig1(p, 0); out.series(r.SCost); out.series(r.WCost) },
+		"fig2":           func() { r := experiments.RunFig2(p); out.series(r.UpdatedPeers); out.series(r.UpdatedWorkload) },
+		"fig3":           func() { r := experiments.RunFig3(p); out.series(r.UpdatedPeers); out.series(r.UpdatedData) },
+		"fig4":           func() { out.series(experiments.RunFig4(p, nil)) },
+		"counterexample": func() { out.counterexample() },
+		"theta":          func() { out.table(experiments.RunThetaAblation(p)) },
+		"epsilon":        func() { out.table(experiments.RunEpsilonAblation(p)) },
+		"hybrid":         func() { out.table(experiments.RunHybridComparison(p)) },
+		"paired":         func() { out.table(experiments.RunPairedDemandAblation(p)) },
+		"clgain":         func() { out.table(experiments.RunClgainAblation(p)) },
+		"shared":         func() { out.table(experiments.RunSharedVocabAblation(p)) },
+		"async":          func() { out.table(experiments.RunAsyncComparison(p)) },
+		"baseline":       func() { out.table(experiments.RunBaselineComparison(p)) },
+		"discovery":      func() { out.table(experiments.RunKMeansDiscovery(p)) },
+		"churn":          func() { out.series(experiments.RunChurn(p, 10, 0.05)) },
+		"lookup":         func() { out.table(experiments.RunLookupCost(p)) },
+		"routing":        func() { out.table(experiments.RunRoutingAblation(p)) },
+		"multicluster":   func() { out.table(experiments.RunMultiClusterAnalysis(p, 4)) },
+	}
+	order := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "counterexample",
+		"theta", "epsilon", "hybrid", "paired", "clgain", "shared",
+		"async", "baseline", "discovery", "churn", "lookup",
+		"routing", "multicluster",
+	}
+
+	name := strings.ToLower(*exp)
+	if name == "all" {
+		for _, k := range order {
+			fmt.Printf("=== %s ===\n", k)
+			known[k]()
+		}
+		return
+	}
+	run, ok := known[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", name, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run()
+}
+
+type printer struct {
+	csv  bool
+	plot bool
+}
+
+func (p *printer) table(t *metrics.Table) {
+	if p.csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.Render())
+}
+
+func (p *printer) series(s *metrics.Series) {
+	if p.csv {
+		fmt.Print(s.CSV())
+		return
+	}
+	fmt.Println(s.Render())
+	if p.plot {
+		fmt.Println(s.Plot(60, 15))
+	}
+}
+
+func (p *printer) counterexample() {
+	inst := core.NewTwoPeerInstance(1)
+	trace, err := inst.VerifyNoNash()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "counterexample FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("§2.3 two-peer instance (alpha=1): no configuration is a pure Nash equilibrium")
+	fmt.Print(trace)
+	fmt.Println()
+}

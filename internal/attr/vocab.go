@@ -1,0 +1,66 @@
+// Package attr models the paper's generic data model: every data item
+// is described by a set of attributes (keywords for text documents) and
+// queries are sets of attributes. A query q matches an item d when q's
+// attributes are a subset of d's attributes (§2).
+//
+// Attributes are interned into dense int32 IDs by a Vocab so that sets
+// can be stored as sorted ID slices and compared cheaply.
+package attr
+
+import "fmt"
+
+// ID is a dense, vocabulary-local attribute identifier.
+type ID int32
+
+// Vocab interns attribute strings into dense IDs. The zero value is
+// ready to use. Vocab is not safe for concurrent mutation.
+type Vocab struct {
+	byName map[string]ID
+	names  []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{byName: make(map[string]ID)}
+}
+
+// Intern returns the ID for name, assigning a fresh one on first use.
+func (v *Vocab) Intern(name string) ID {
+	if v.byName == nil {
+		v.byName = make(map[string]ID)
+	}
+	if id, ok := v.byName[name]; ok {
+		return id
+	}
+	id := ID(len(v.names))
+	v.byName[name] = id
+	v.names = append(v.names, name)
+	return id
+}
+
+// Lookup returns the ID for name and whether it is known.
+func (v *Vocab) Lookup(name string) (ID, bool) {
+	id, ok := v.byName[name]
+	return id, ok
+}
+
+// Name returns the string for id. It panics on unknown IDs, which
+// always indicates a programming error (IDs only come from Intern).
+func (v *Vocab) Name(id ID) string {
+	if int(id) < 0 || int(id) >= len(v.names) {
+		panic(fmt.Sprintf("attr: unknown ID %d (vocab size %d)", id, len(v.names)))
+	}
+	return v.names[id]
+}
+
+// Len returns the number of interned attributes.
+func (v *Vocab) Len() int { return len(v.names) }
+
+// InternAll interns every name and returns the IDs in order.
+func (v *Vocab) InternAll(names []string) []ID {
+	ids := make([]ID, len(names))
+	for i, n := range names {
+		ids[i] = v.Intern(n)
+	}
+	return ids
+}

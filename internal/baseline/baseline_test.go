@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/peer"
+	"repro/internal/stats"
+)
+
+// labeledPeers builds groups*perGroup peers where group g's items use
+// attribute ids in [g*8, g*8+8).
+func labeledPeers(groups, perGroup int, seed uint64) ([]*peer.Peer, []int) {
+	rng := stats.NewRNG(seed)
+	n := groups * perGroup
+	peers := make([]*peer.Peer, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		labels[i] = g
+		p := peer.New(i)
+		items := make([]attr.Set, 4)
+		for d := range items {
+			a := attr.ID(g*8 + rng.Intn(8))
+			b := attr.ID(g*8 + rng.Intn(8))
+			items[d] = attr.NewSet(a, b)
+		}
+		p.SetItems(items)
+		peers[i] = p
+	}
+	return peers, labels
+}
+
+func TestKMeansRecoversGroups(t *testing.T) {
+	peers, labels := labeledPeers(4, 8, 3)
+	res := KMeans(peers, 4, 50, stats.NewRNG(1))
+	if err := res.Config.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	purity := CategoryPurity(res.Config, labels)
+	if purity < 0.99 {
+		t.Fatalf("purity %g on perfectly separable data (sizes %v)", purity, res.Config.Sizes())
+	}
+	if res.Messages <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	if res.Iterations <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestKMeansDeterminism(t *testing.T) {
+	peers, _ := labeledPeers(3, 6, 5)
+	a := KMeans(peers, 3, 50, stats.NewRNG(7))
+	b := KMeans(peers, 3, 50, stats.NewRNG(7))
+	pa, pb := a.Config.Assignment(), b.Config.Assignment()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("assignments diverge at %d", i)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	peers, _ := labeledPeers(2, 3, 9)
+	for _, k := range []int{0, len(peers) + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: no panic", k)
+				}
+			}()
+			KMeans(peers, k, 10, stats.NewRNG(1))
+		}()
+	}
+}
+
+func TestTrivialConfigs(t *testing.T) {
+	c := SingleCluster(5)
+	if c.NumNonEmpty() != 1 || c.Size(0) != 5 {
+		t.Fatal("SingleCluster")
+	}
+	s := Singletons(5)
+	if s.NumNonEmpty() != 5 {
+		t.Fatal("Singletons")
+	}
+}
+
+func TestCategoryPurity(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	pure := SingleCluster(4)
+	if got := CategoryPurity(pure, labels); got != 0.5 {
+		t.Fatalf("mixed purity %g want 0.5", got)
+	}
+	perfect := Singletons(4)
+	if got := CategoryPurity(perfect, labels); got != 1 {
+		t.Fatalf("singleton purity %g want 1", got)
+	}
+}
+
+func TestCosineVector(t *testing.T) {
+	a := newVector(map[attr.ID]int{1: 2, 2: 1})
+	b := newVector(map[attr.ID]int{1: 2, 2: 1})
+	if sim := a.cosine(b); sim < 0.999 {
+		t.Fatalf("identical vectors cosine %g", sim)
+	}
+	c := newVector(map[attr.ID]int{9: 3})
+	if sim := a.cosine(c); sim != 0 {
+		t.Fatalf("orthogonal vectors cosine %g", sim)
+	}
+	var zero vector
+	if a.cosine(zero) != 0 {
+		t.Fatal("zero vector cosine")
+	}
+}

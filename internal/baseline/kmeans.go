@@ -1,0 +1,229 @@
+// Package baseline implements the comparators the paper motivates
+// against (§1): re-applying a clustering procedure from scratch with
+// global knowledge — realized here as cosine k-means over peer term
+// vectors — plus the trivial no-clustering configurations (one giant
+// cluster, all singletons). Each baseline reports a communication-cost
+// model so the harness can quantify the paper's claim that local
+// reformulation is far cheaper than global re-clustering.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+	"repro/internal/stats"
+)
+
+// vector is a sparse term-frequency vector with cached norm.
+type vector struct {
+	terms map[attr.ID]float64
+	norm  float64
+}
+
+func newVector(freqs map[attr.ID]int) vector {
+	v := vector{terms: make(map[attr.ID]float64, len(freqs))}
+	var ss float64
+	for a, c := range freqs {
+		f := float64(c)
+		v.terms[a] = f
+		ss += f * f
+	}
+	v.norm = math.Sqrt(ss)
+	return v
+}
+
+func (v vector) cosine(u vector) float64 {
+	if v.norm == 0 || u.norm == 0 {
+		return 0
+	}
+	// Iterate the smaller map.
+	a, b := v, u
+	if len(b.terms) < len(a.terms) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, x := range a.terms {
+		if y, ok := b.terms[t]; ok {
+			dot += x * y
+		}
+	}
+	return dot / (v.norm * u.norm)
+}
+
+func (v vector) add(u vector) vector {
+	out := vector{terms: make(map[attr.ID]float64, len(v.terms)+len(u.terms))}
+	for t, x := range v.terms {
+		out.terms[t] = x
+	}
+	for t, y := range u.terms {
+		out.terms[t] += y
+	}
+	var ss float64
+	for _, x := range out.terms {
+		ss += x * x
+	}
+	out.norm = math.Sqrt(ss)
+	return out
+}
+
+// KMeansResult is the outcome of a global re-clustering pass.
+type KMeansResult struct {
+	// Config assigns every peer to one of K clusters (empty clusters
+	// possible when K exceeds the natural structure).
+	Config *cluster.Config
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Messages models the communication cost of the centralized
+	// procedure: every peer ships its term vector to a coordinator
+	// (one message per vector entry, the unit also used by the
+	// protocol's message counter) and receives its assignment.
+	Messages int
+	// Moved is the number of peers whose cluster changed in the last
+	// refinement step (0 at convergence).
+	Moved int
+}
+
+// KMeans clusters peers by cosine similarity of their term-frequency
+// vectors into k groups (k-means++ seeding, Lloyd refinement). It is
+// deterministic given rng.
+func KMeans(peers []*peer.Peer, k, maxIter int, rng *stats.RNG) KMeansResult {
+	n := len(peers)
+	if k <= 0 || k > n {
+		panic("baseline: k out of range")
+	}
+	vecs := make([]vector, n)
+	msgs := 0
+	for i, p := range peers {
+		vecs[i] = newVector(p.AttrFrequencies())
+		msgs += len(vecs[i].terms) + 1 // ship vector + receive assignment
+	}
+
+	// k-means++ seeding on (1 - cosine) distance.
+	centers := make([]vector, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, vecs[first])
+	dist := make([]float64, n)
+	for len(centers) < k {
+		var sum float64
+		for i := range vecs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				d := 1 - vecs[i].cosine(c)
+				if d < best {
+					best = d
+				}
+			}
+			dist[i] = best * best
+			sum += dist[i]
+		}
+		if sum == 0 {
+			// All remaining points coincide with a center; spread
+			// arbitrary distinct peers.
+			centers = append(centers, vecs[rng.Intn(n)])
+			continue
+		}
+		x := rng.Float64() * sum
+		pick := 0
+		for i, d := range dist {
+			x -= d
+			if x < 0 {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, vecs[pick])
+	}
+
+	assign := make([]int, n)
+	res := KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		moved := 0
+		for i := range vecs {
+			best, bestSim := 0, -1.0
+			for ci, c := range centers {
+				sim := vecs[i].cosine(c)
+				if sim > bestSim {
+					best, bestSim = ci, sim
+				}
+			}
+			if iter == 0 || assign[i] != best {
+				moved++
+			}
+			assign[i] = best
+		}
+		res.Moved = moved
+		if iter > 0 && moved == 0 {
+			break
+		}
+		// Recompute centroids.
+		sums := make([]vector, k)
+		for ci := range sums {
+			sums[ci] = vector{terms: map[attr.ID]float64{}}
+		}
+		for i, a := range assign {
+			sums[a] = sums[a].add(vecs[i])
+		}
+		for ci := range centers {
+			if len(sums[ci].terms) > 0 {
+				centers[ci] = sums[ci]
+			}
+		}
+	}
+
+	cids := make([]cluster.CID, n)
+	for i, a := range assign {
+		cids[i] = cluster.CID(a)
+	}
+	res.Config = cluster.FromAssignment(cids)
+	res.Messages = msgs
+	return res
+}
+
+// SingleCluster returns the degenerate configuration with every peer in
+// one cluster (Gnutella-style flooding domain).
+func SingleCluster(n int) *cluster.Config {
+	assign := make([]cluster.CID, n)
+	return cluster.FromAssignment(assign)
+}
+
+// Singletons returns the configuration where no peer clusters at all.
+func Singletons(n int) *cluster.Config {
+	return cluster.NewSingletons(n)
+}
+
+// CategoryPurity measures how well a configuration recovers a ground
+// truth labeling: for each non-empty cluster take the share of its
+// majority label, weighted by cluster size. 1.0 means every cluster is
+// label-pure.
+func CategoryPurity(cfg *cluster.Config, labels []int) float64 {
+	var weighted float64
+	n := 0
+	for _, cid := range cfg.NonEmpty() {
+		members := cfg.Members(cid)
+		counts := map[int]int{}
+		for _, p := range members {
+			counts[labels[p]]++
+		}
+		best := 0
+		keys := make([]int, 0, len(counts))
+		for l := range counts {
+			keys = append(keys, l)
+		}
+		sort.Ints(keys)
+		for _, l := range keys {
+			if counts[l] > best {
+				best = counts[l]
+			}
+		}
+		weighted += float64(best)
+		n += len(members)
+	}
+	if n == 0 {
+		return 0
+	}
+	return weighted / float64(n)
+}

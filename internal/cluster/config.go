@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CID identifies a cluster slot. The system has Cmax slots (Cmax = |P|
+// in the paper); a slot with no members is an empty cluster available
+// for new-cluster creation.
+type CID int32
+
+// None is the sentinel for "no cluster".
+const None CID = -1
+
+// Config is a complete cluster configuration: the strategy profile
+// S = {s_1, ..., s_|P|} restricted to single-cluster strategies
+// (§2.3). It supports O(1) moves, membership queries and size lookups.
+type Config struct {
+	assign  []CID   // peer -> cluster
+	members [][]int // cid -> member peer IDs (unordered)
+	pos     []int   // peer -> index within members[assign[peer]]
+}
+
+// NewSingletons builds the configuration where each peer forms its own
+// cluster (initial configuration (i) of §4.1).
+func NewSingletons(numPeers int) *Config {
+	assign := make([]CID, numPeers)
+	for i := range assign {
+		assign[i] = CID(i)
+	}
+	return FromAssignment(assign)
+}
+
+// FromAssignment builds a configuration from a peer->cluster mapping.
+// Cluster IDs must lie in [0, len(assign)); the number of slots Cmax
+// always equals the number of peers.
+func FromAssignment(assign []CID) *Config {
+	n := len(assign)
+	c := &Config{
+		assign:  append([]CID(nil), assign...),
+		members: make([][]int, n),
+		pos:     make([]int, n),
+	}
+	for p, cid := range c.assign {
+		if cid < 0 || int(cid) >= n {
+			panic(fmt.Sprintf("cluster: peer %d assigned to invalid cluster %d", p, cid))
+		}
+		c.pos[p] = len(c.members[cid])
+		c.members[cid] = append(c.members[cid], p)
+	}
+	return c
+}
+
+// NumPeers returns |P|.
+func (c *Config) NumPeers() int { return len(c.assign) }
+
+// Cmax returns the number of cluster slots (= |P|).
+func (c *Config) Cmax() int { return len(c.members) }
+
+// ClusterOf returns the cluster peer p belongs to.
+func (c *Config) ClusterOf(p int) CID { return c.assign[p] }
+
+// Size returns the number of members of cid.
+func (c *Config) Size(cid CID) int { return len(c.members[cid]) }
+
+// Members returns the member peer IDs of cid in ascending order.
+func (c *Config) Members(cid CID) []int {
+	out := append([]int(nil), c.members[cid]...)
+	sort.Ints(out)
+	return out
+}
+
+// Representative returns the cluster representative of cid: the member
+// with the smallest peer ID (§3.2 notes representatives need not be
+// stable across rounds; a deterministic choice keeps runs reproducible).
+// It returns -1 for empty clusters.
+func (c *Config) Representative(cid CID) int {
+	rep := -1
+	for _, p := range c.members[cid] {
+		if rep < 0 || p < rep {
+			rep = p
+		}
+	}
+	return rep
+}
+
+// NonEmpty returns the IDs of non-empty clusters in ascending order.
+func (c *Config) NonEmpty() []CID {
+	var out []CID
+	for cid := range c.members {
+		if len(c.members[cid]) > 0 {
+			out = append(out, CID(cid))
+		}
+	}
+	return out
+}
+
+// NumNonEmpty returns the number of non-empty clusters.
+func (c *Config) NumNonEmpty() int {
+	n := 0
+	for cid := range c.members {
+		if len(c.members[cid]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EmptyCluster returns the lowest-numbered empty cluster slot, or
+// (None, false) if every slot is occupied.
+func (c *Config) EmptyCluster() (CID, bool) {
+	for cid := range c.members {
+		if len(c.members[cid]) == 0 {
+			return CID(cid), true
+		}
+	}
+	return None, false
+}
+
+// Move relocates peer p to cluster to, returning its previous cluster.
+// Moving a peer to its current cluster is a no-op.
+func (c *Config) Move(p int, to CID) CID {
+	from := c.assign[p]
+	if from == to {
+		return from
+	}
+	if to < 0 || int(to) >= len(c.members) {
+		panic(fmt.Sprintf("cluster: move to invalid cluster %d", to))
+	}
+	// Remove p from its old cluster by swapping with the last member.
+	m := c.members[from]
+	i := c.pos[p]
+	last := len(m) - 1
+	m[i] = m[last]
+	c.pos[m[i]] = i
+	c.members[from] = m[:last]
+	// Append to the new cluster.
+	c.pos[p] = len(c.members[to])
+	c.members[to] = append(c.members[to], p)
+	c.assign[p] = to
+	return from
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	cp := &Config{
+		assign:  append([]CID(nil), c.assign...),
+		members: make([][]int, len(c.members)),
+		pos:     append([]int(nil), c.pos...),
+	}
+	for i, m := range c.members {
+		if len(m) > 0 {
+			cp.members[i] = append([]int(nil), m...)
+		}
+	}
+	return cp
+}
+
+// Assignment returns a copy of the peer->cluster mapping.
+func (c *Config) Assignment() []CID {
+	return append([]CID(nil), c.assign...)
+}
+
+// Hash returns an order-sensitive FNV-1a hash of the assignment,
+// used to detect cycles in best-response dynamics.
+func (c *Config) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, cid := range c.assign {
+		v := uint32(cid)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64((v >> s) & 0xff)
+			h *= prime
+		}
+	}
+	return h
+}
+
+// CanonicalHash hashes the *partition* rather than the labeled
+// assignment: two configurations that group peers identically but use
+// different cluster IDs hash equally. Cluster labels are irrelevant to
+// all costs, so cycle detection uses this form.
+func (c *Config) CanonicalHash() uint64 {
+	relabel := make(map[CID]CID, len(c.members))
+	canon := make([]CID, len(c.assign))
+	next := CID(0)
+	for p, cid := range c.assign {
+		nc, ok := relabel[cid]
+		if !ok {
+			nc = next
+			relabel[cid] = nc
+			next++
+		}
+		canon[p] = nc
+	}
+	tmp := Config{assign: canon}
+	return tmp.Hash()
+}
+
+// Sizes returns the sorted sizes of all non-empty clusters.
+func (c *Config) Sizes() []int {
+	var out []int
+	for _, m := range c.members {
+		if len(m) > 0 {
+			out = append(out, len(m))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks internal consistency; property tests drive random
+// move sequences through it.
+func (c *Config) Validate() error {
+	if len(c.assign) != len(c.pos) || len(c.assign) != len(c.members) {
+		return fmt.Errorf("cluster: inconsistent lengths")
+	}
+	seen := 0
+	for cid, m := range c.members {
+		for i, p := range m {
+			if p < 0 || p >= len(c.assign) {
+				return fmt.Errorf("cluster %d has invalid member %d", cid, p)
+			}
+			if c.assign[p] != CID(cid) {
+				return fmt.Errorf("peer %d in members of %d but assigned to %d", p, cid, c.assign[p])
+			}
+			if c.pos[p] != i {
+				return fmt.Errorf("peer %d pos %d != index %d", p, c.pos[p], i)
+			}
+			seen++
+		}
+	}
+	if seen != len(c.assign) {
+		return fmt.Errorf("members cover %d peers, want %d", seen, len(c.assign))
+	}
+	return nil
+}

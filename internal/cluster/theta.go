@@ -1,0 +1,46 @@
+// Package cluster models the clustered overlay: the assignment of
+// peers to clusters (with up to Cmax = |P| cluster slots, §2.1), and
+// the θ cost function capturing how the cost of participating in a
+// cluster grows with its size — linear when all peers in a cluster are
+// fully connected, logarithmic for structured (DHT-like) intra-cluster
+// overlays.
+package cluster
+
+import "math"
+
+// Theta maps a cluster size to its per-member participation cost. It
+// must be monotonically non-decreasing in size; θ(0) is never consulted.
+type Theta struct {
+	// Name identifies the function in reports.
+	Name string
+	// F computes the cost for a cluster of the given size (>= 1).
+	F func(size int) float64
+}
+
+// LinearTheta models fully connected clusters (the paper's experimental
+// setting): θ(n) = n.
+func LinearTheta() Theta {
+	return Theta{Name: "linear", F: func(n int) float64 { return float64(n) }}
+}
+
+// LogTheta models structured intra-cluster overlays: θ(n) = 1 + log2(n).
+func LogTheta() Theta {
+	return Theta{Name: "log", F: func(n int) float64 {
+		if n <= 1 {
+			return 1
+		}
+		return 1 + math.Log2(float64(n))
+	}}
+}
+
+// SqrtTheta models partially meshed clusters: θ(n) = sqrt(n).
+func SqrtTheta() Theta {
+	return Theta{Name: "sqrt", F: func(n int) float64 { return math.Sqrt(float64(n)) }}
+}
+
+// ConstTheta models size-independent membership cost; with it the game
+// degenerates (all peers want one big cluster), which the θ ablation
+// demonstrates.
+func ConstTheta() Theta {
+	return Theta{Name: "const", F: func(int) float64 { return 1 }}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// SCost returns the social cost (Eq. 2): the sum of the individual
+// costs of all peers under the current configuration.
+func (e *Engine) SCost() float64 {
+	var sum float64
+	for p := 0; p < e.n; p++ {
+		if e.wl.PeerTotal(p) == 0 {
+			// A peer with no workload pays only its membership cost.
+			sum += e.membership(e.cfg.Size(e.cfg.ClusterOf(p)))
+			continue
+		}
+		sum += e.PeerCost(p, e.cfg.ClusterOf(p))
+	}
+	return sum
+}
+
+// SCostNormalized returns SCost/|P| — the mean individual cost, the
+// normalization under which the ideal scenario-1 configuration of the
+// paper scores 0.1 (Table 1).
+func (e *Engine) SCostNormalized() float64 {
+	return e.SCost() / float64(e.n)
+}
+
+// SCostParts splits the social cost into its membership and recall
+// components: SCost() == membership + recall. As the paper notes (§2.2)
+// the membership part equals WCost's maintenance term — each cluster
+// appears in the SCost sum once per member.
+func (e *Engine) SCostParts() (membership, recall float64) {
+	membership = e.wcostMaintenance()
+	return membership, e.SCost() - membership
+}
+
+// WCostParts splits the workload cost into its maintenance and recall
+// components: WCost() == maintenance + recall.
+func (e *Engine) WCostParts() (maintenance, recall float64) {
+	return e.wcostMaintenance(), e.wcostRecall()
+}
+
+// WCost returns the workload cost (Eq. 3): the cluster maintenance term
+// α·Σ_c |c|·θ(|c|)/|P| plus the query-frequency-weighted recall lost
+// outside the initiators' clusters.
+func (e *Engine) WCost() float64 {
+	return e.wcostMaintenance() + e.wcostRecall()
+}
+
+// WCostNormalized divides the maintenance term by |P| (the recall term
+// is already a [0,1] frequency-weighted average), matching the
+// normalized values reported in Table 1.
+func (e *Engine) WCostNormalized() float64 {
+	return e.wcostMaintenance()/float64(e.n) + e.wcostRecall()
+}
+
+func (e *Engine) wcostMaintenance() float64 {
+	var sum float64
+	for _, c := range e.cfg.NonEmpty() {
+		s := e.cfg.Size(c)
+		sum += float64(s) * e.theta.F(s)
+	}
+	return e.alpha * sum / float64(e.n)
+}
+
+func (e *Engine) wcostRecall() float64 {
+	total := e.wl.Total()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for p := 0; p < e.n; p++ {
+		cid := e.cfg.ClusterOf(p)
+		for _, entry := range e.wl.Peer(p) {
+			t := e.totals[entry.Q]
+			if t == 0 {
+				continue
+			}
+			in := e.clusterRes[entry.Q][cid]
+			sum += float64(entry.Count) / float64(total) * (1 - in/t)
+		}
+	}
+	return sum
+}
+
+// Contribution returns Eq. 6: the share of the results peer p supplies
+// to queries originating in cluster c, relative to the results p
+// supplies to the whole system's workload. It is 0 for peers whose
+// content answers no query at all.
+func (e *Engine) Contribution(p int, c cluster.CID) float64 {
+	var num, den float64
+	for _, re := range e.peerRes[p] {
+		den += e.demandTot[re.qid] * re.res
+		num += e.clusterDemand[re.qid][c] * re.res
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ContributionEval is the altruistic counterpart of MoveEval.
+type ContributionEval struct {
+	// Cur is the peer's current cluster and CurContribution its Eq. 6
+	// value there.
+	Cur             cluster.CID
+	CurContribution float64
+	// Best is the non-empty cluster with maximum contribution
+	// (possibly Cur) and BestContribution its value.
+	Best             cluster.CID
+	BestContribution float64
+}
+
+// EvaluateContribution computes Eq. 6 against every non-empty cluster
+// in one pass. Ties prefer the current cluster, then the lowest ID.
+func (e *Engine) EvaluateContribution(p int) ContributionEval {
+	cur := e.cfg.ClusterOf(p)
+	nonEmpty := e.cfg.NonEmpty()
+	num := make(map[cluster.CID]float64, len(nonEmpty))
+	var den float64
+	for _, re := range e.peerRes[p] {
+		den += e.demandTot[re.qid] * re.res
+		row := e.clusterDemand[re.qid]
+		for _, c := range nonEmpty {
+			if row[c] != 0 {
+				num[c] += row[c] * re.res
+			}
+		}
+	}
+	ev := ContributionEval{Cur: cur}
+	if den == 0 {
+		ev.Best = cur
+		return ev
+	}
+	ev.CurContribution = num[cur] / den
+	ev.Best, ev.BestContribution = cur, ev.CurContribution
+	for _, c := range nonEmpty {
+		v := num[c] / den
+		if v > ev.BestContribution || (v == ev.BestContribution && ev.Best != cur && c < ev.Best) {
+			ev.Best, ev.BestContribution = c, v
+		}
+	}
+	return ev
+}
+
+// DeltaMembership returns the increase in the membership cost of
+// cluster c caused by one more peer joining, summed over its current
+// members: α·|c|·(θ(|c|+1) − θ(|c|))/|P|. This is the cost the
+// altruistic clgain charges a joiner (§3.1.2); its slope parallels the
+// selfish membership term and is what stops altruistic accretion into
+// one giant cluster (the weaker per-member marginal reading below lets
+// the whole network collapse into a single cluster, SCost = 1).
+func (e *Engine) DeltaMembership(c cluster.CID) float64 {
+	s := e.cfg.Size(c)
+	if s == 0 {
+		return 0
+	}
+	return e.alpha * float64(s) * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.n)
+}
+
+// DeltaMembershipMarginal is the weaker reading of §3.1.2: only the
+// growth of the per-member participation cost, α·(θ(|c|+1)−θ(|c|))/|P|.
+// Exposed for the clgain ablation, which demonstrates why the total
+// reading is the right model.
+func (e *Engine) DeltaMembershipMarginal(c cluster.CID) float64 {
+	s := e.cfg.Size(c)
+	if s == 0 {
+		return 0
+	}
+	return e.alpha * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.n)
+}
+
+// ClusterRecall returns R(q,c) = Σ_{p∈c} r(q,p): the fraction of all
+// results for query qid held inside cluster c (the paper's "cluster
+// recall" measure of §3.1). It returns 0 when the query has no results
+// anywhere.
+func (e *Engine) ClusterRecall(qid workload.QID, c cluster.CID) float64 {
+	t := e.totals[qid]
+	if t == 0 {
+		return 0
+	}
+	return e.clusterRes[qid][c] / t
+}
+
+// TotalResults returns Σ_p result(q,p) for qid.
+func (e *Engine) TotalResults(qid workload.QID) float64 { return e.totals[qid] }

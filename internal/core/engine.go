@@ -1,0 +1,335 @@
+// Package core implements the paper's primary contribution: the
+// recall-based cluster-formation game. It provides the recall measure
+// r(q,p), the individual peer cost pcost (Eq. 1), the global social and
+// workload costs (Eq. 2-4), the contribution measure of the altruistic
+// strategy (Eq. 6), the selfish/altruistic/hybrid relocation strategies
+// (§3.1), and Nash-equilibrium analysis (§2.3) including the paper's
+// two-peer non-existence counterexample.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/peer"
+	"repro/internal/workload"
+)
+
+// resEntry records that a peer holds `res` results for query `qid`.
+type resEntry struct {
+	qid workload.QID
+	res float64
+}
+
+// Engine evaluates all cost measures of the game over a live cluster
+// configuration. Recall and demand aggregates per cluster are
+// maintained incrementally under Move; content or workload changes
+// require Rebuild. Engine is not safe for concurrent use.
+type Engine struct {
+	peers []*peer.Peer
+	wl    *workload.Workload
+	cfg   *cluster.Config
+	theta cluster.Theta
+	alpha float64
+	n     int
+
+	// totals[q] = Σ_p result(q,p); zero-result queries carry no recall
+	// cost (r is undefined for them, see DESIGN.md §5.3).
+	totals []float64
+	// peerRes[p] lists every query p holds results for.
+	peerRes [][]resEntry
+	// clusterRes[q][c] = Σ_{p∈c} result(q,p).
+	clusterRes [][]float64
+	// demandTot[q] = num(q,Q); clusterDemand[q][c] = Σ_{p∈c} num(q,Q(p)).
+	demandTot     []float64
+	clusterDemand [][]float64
+
+	wlVersion int
+}
+
+// New builds an engine over the given peers, workload and initial
+// configuration. The peers slice is indexed by peer ID: peers[i].ID()
+// must equal i.
+func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, theta cluster.Theta, alpha float64) *Engine {
+	if len(peers) != cfg.NumPeers() || len(peers) != wl.NumPeers() {
+		panic(fmt.Sprintf("core: size mismatch peers=%d cfg=%d wl=%d",
+			len(peers), cfg.NumPeers(), wl.NumPeers()))
+	}
+	for i, p := range peers {
+		if p.ID() != i {
+			panic(fmt.Sprintf("core: peers[%d] has ID %d", i, p.ID()))
+		}
+	}
+	if alpha < 0 {
+		panic("core: negative alpha")
+	}
+	e := &Engine{peers: peers, wl: wl, cfg: cfg, theta: theta, alpha: alpha, n: len(peers)}
+	e.Rebuild()
+	return e
+}
+
+// Rebuild recomputes every aggregate from scratch. Call it after peer
+// content or workload mutations; plain relocations are tracked
+// incrementally by Move.
+func (e *Engine) Rebuild() {
+	nq := e.wl.NumQueries()
+	cmax := e.cfg.Cmax()
+	e.totals = make([]float64, nq)
+	e.peerRes = make([][]resEntry, e.n)
+	e.clusterRes = make([][]float64, nq)
+	e.demandTot = make([]float64, nq)
+	e.clusterDemand = make([][]float64, nq)
+	for q := 0; q < nq; q++ {
+		e.clusterRes[q] = make([]float64, cmax)
+		e.clusterDemand[q] = make([]float64, cmax)
+	}
+	for pid, p := range e.peers {
+		cid := e.cfg.ClusterOf(pid)
+		for q := 0; q < nq; q++ {
+			res := p.ResultCount(e.wl.Query(workload.QID(q)))
+			if res == 0 {
+				continue
+			}
+			r := float64(res)
+			e.peerRes[pid] = append(e.peerRes[pid], resEntry{qid: workload.QID(q), res: r})
+			e.totals[q] += r
+			e.clusterRes[q][cid] += r
+		}
+		for _, entry := range e.wl.Peer(pid) {
+			c := float64(entry.Count)
+			e.demandTot[entry.Q] += c
+			e.clusterDemand[entry.Q][cid] += c
+		}
+	}
+	e.wlVersion = e.wl.Version()
+}
+
+// Move relocates peer p to cluster `to`, updating all incremental
+// aggregates. It returns the previous cluster.
+func (e *Engine) Move(p int, to cluster.CID) cluster.CID {
+	from := e.cfg.Move(p, to)
+	if from == to {
+		return from
+	}
+	for _, re := range e.peerRes[p] {
+		e.clusterRes[re.qid][from] -= re.res
+		e.clusterRes[re.qid][to] += re.res
+	}
+	for _, entry := range e.wl.Peer(p) {
+		c := float64(entry.Count)
+		e.clusterDemand[entry.Q][from] -= c
+		e.clusterDemand[entry.Q][to] += c
+	}
+	return from
+}
+
+// Config returns the live configuration. Mutate it only through
+// Engine.Move, or the incremental aggregates go stale.
+func (e *Engine) Config() *cluster.Config { return e.cfg }
+
+// Workload returns the workload the engine was built over.
+func (e *Engine) Workload() *workload.Workload { return e.wl }
+
+// Peers returns the peer slice (shared, do not reorder).
+func (e *Engine) Peers() []*peer.Peer { return e.peers }
+
+// NumPeers returns |P|.
+func (e *Engine) NumPeers() int { return e.n }
+
+// Alpha returns the membership-cost weight α.
+func (e *Engine) Alpha() float64 { return e.alpha }
+
+// SetAlpha changes α. No rebuild is needed: α only scales the
+// membership term at evaluation time.
+func (e *Engine) SetAlpha(a float64) {
+	if a < 0 {
+		panic("core: negative alpha")
+	}
+	e.alpha = a
+}
+
+// Theta returns the cluster participation cost function.
+func (e *Engine) Theta() cluster.Theta { return e.theta }
+
+// Stale reports whether the workload changed since the last Rebuild.
+func (e *Engine) Stale() bool { return e.wl.Version() != e.wlVersion }
+
+// recallWeight returns w = num(q,Q(p))/num(Q(p)) for one workload entry.
+func (e *Engine) recallWeight(p int, count int) float64 {
+	return float64(count) / float64(e.wl.PeerTotal(p))
+}
+
+// membership returns the first term of Eq. 1 for a cluster of the given
+// size: α·θ(size)/|P|.
+func (e *Engine) membership(size int) float64 {
+	return e.alpha * e.theta.F(size) / float64(e.n)
+}
+
+// ownRecall returns Σ_q w(q)·r(q,p): the recall p supplies to its own
+// workload, which is in-cluster wherever p goes.
+func (e *Engine) ownRecall(p int) float64 {
+	own := ownResMap(e.peerRes[p])
+	var acc float64
+	for _, entry := range e.wl.Peer(p) {
+		t := e.totals[entry.Q]
+		if t == 0 {
+			continue
+		}
+		acc += e.recallWeight(p, entry.Count) * own[entry.Q] / t
+	}
+	return acc
+}
+
+func ownResMap(entries []resEntry) map[workload.QID]float64 {
+	m := make(map[workload.QID]float64, len(entries))
+	for _, re := range entries {
+		m[re.qid] = re.res
+	}
+	return m
+}
+
+// PeerCost returns pcost(p, c) (Eq. 1 restricted to single-cluster
+// strategies): the cost for p if its cluster were c. Probing a cluster
+// p does not belong to accounts for p's own arrival: the membership
+// term uses θ(|c|+1) and p's own results count as in-cluster, matching
+// the §2.3 worked example.
+func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
+	cur := e.cfg.ClusterOf(p)
+	size := e.cfg.Size(c)
+	if c != cur {
+		size++
+	}
+	cost := e.membership(size)
+	own := ownResMap(e.peerRes[p])
+	for _, entry := range e.wl.Peer(p) {
+		t := e.totals[entry.Q]
+		if t == 0 {
+			continue
+		}
+		in := e.clusterRes[entry.Q][c]
+		if c != cur {
+			in += own[entry.Q]
+		}
+		cost += e.recallWeight(p, entry.Count) * (1 - in/t)
+	}
+	return cost
+}
+
+// CostAlone returns pcost for p in a fresh singleton cluster:
+// α·θ(1)/|P| plus the recall of everything p does not hold itself.
+func (e *Engine) CostAlone(p int) float64 {
+	cost := e.membership(1)
+	own := ownResMap(e.peerRes[p])
+	for _, entry := range e.wl.Peer(p) {
+		t := e.totals[entry.Q]
+		if t == 0 {
+			continue
+		}
+		cost += e.recallWeight(p, entry.Count) * (1 - own[entry.Q]/t)
+	}
+	return cost
+}
+
+// PeerCostMulti evaluates the full Eq. 1 for a multi-cluster strategy
+// s ⊆ C: Σ_{c∈s} α·θ(|c ∪ {p}|)/|P| plus the recall lost to peers in no
+// cluster of s. It is exposed for completeness; the protocol and the
+// experiments use single-cluster strategies per §2.3.
+func (e *Engine) PeerCostMulti(p int, s []cluster.CID) float64 {
+	cur := e.cfg.ClusterOf(p)
+	var cost float64
+	seen := make(map[cluster.CID]bool, len(s))
+	inAny := false
+	for _, c := range s {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		size := e.cfg.Size(c)
+		if c != cur {
+			size++
+		} else {
+			inAny = true
+		}
+		cost += e.membership(size)
+	}
+	own := ownResMap(e.peerRes[p])
+	for _, entry := range e.wl.Peer(p) {
+		t := e.totals[entry.Q]
+		if t == 0 {
+			continue
+		}
+		var in float64
+		for c := range seen {
+			in += e.clusterRes[entry.Q][c]
+		}
+		if !inAny && len(seen) > 0 {
+			in += own[entry.Q]
+		}
+		if in > t {
+			in = t
+		}
+		cost += e.recallWeight(p, entry.Count) * (1 - in/t)
+	}
+	return cost
+}
+
+// MoveEval holds the outcome of evaluating all candidate clusters for a
+// peer.
+type MoveEval struct {
+	// Cur is the peer's current cluster; CurCost its pcost there.
+	Cur     cluster.CID
+	CurCost float64
+	// Best is the cheapest cluster (possibly Cur); BestCost its pcost.
+	Best     cluster.CID
+	BestCost float64
+	// AloneCost is pcost in a fresh singleton cluster.
+	AloneCost float64
+}
+
+// Gain returns CurCost - BestCost (>= 0 when an improving move exists).
+func (m MoveEval) Gain() float64 { return m.CurCost - m.BestCost }
+
+// EvaluateMoves computes pcost(p,c) for every non-empty cluster plus
+// the singleton option in one pass over p's workload. Ties prefer the
+// current cluster (no churn), then the lowest cluster ID, keeping the
+// dynamics deterministic.
+func (e *Engine) EvaluateMoves(p int) MoveEval {
+	cur := e.cfg.ClusterOf(p)
+	nonEmpty := e.cfg.NonEmpty()
+
+	// acc[c] accumulates Σ_q w·clusterRes[q][c]/totals[q].
+	acc := make(map[cluster.CID]float64, len(nonEmpty))
+	var w float64 // Σ weights of answerable queries
+	var ownAcc float64
+	own := ownResMap(e.peerRes[p])
+	for _, entry := range e.wl.Peer(p) {
+		t := e.totals[entry.Q]
+		if t == 0 {
+			continue
+		}
+		wq := e.recallWeight(p, entry.Count)
+		w += wq
+		ownAcc += wq * own[entry.Q] / t
+		row := e.clusterRes[entry.Q]
+		for _, c := range nonEmpty {
+			if row[c] != 0 {
+				acc[c] += wq * row[c] / t
+			}
+		}
+	}
+
+	ev := MoveEval{Cur: cur}
+	ev.CurCost = e.membership(e.cfg.Size(cur)) + w - acc[cur]
+	ev.AloneCost = e.membership(1) + w - ownAcc
+	ev.Best, ev.BestCost = cur, ev.CurCost
+	for _, c := range nonEmpty {
+		if c == cur {
+			continue
+		}
+		cost := e.membership(e.cfg.Size(c)+1) + w - acc[c] - ownAcc
+		if cost < ev.BestCost || (cost == ev.BestCost && ev.Best != cur && c < ev.Best) {
+			ev.Best, ev.BestCost = c, cost
+		}
+	}
+	return ev
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+func TestBestMultiStrategyNeverWorseThanSingle(t *testing.T) {
+	e := newTestEngine(t, 16, 9, 71, nil)
+	rng := stats.NewRNG(72)
+	for i := 0; i < 30; i++ {
+		e.Move(rng.Intn(16), cluster.CID(rng.Intn(8)))
+	}
+	for p := 0; p < 16; p++ {
+		me := e.BestMultiStrategy(p, 4)
+		if me.Cost > me.SingleCost+1e-12 {
+			t.Errorf("peer %d: multi cost %g above single %g", p, me.Cost, me.SingleCost)
+		}
+		if len(me.Strategy) == 0 || len(me.Strategy) > 4 {
+			t.Errorf("peer %d: strategy size %d", p, len(me.Strategy))
+		}
+		if !almost(me.Cost, e.PeerCostMulti(p, me.Strategy)) {
+			t.Errorf("peer %d: reported cost %g != recomputed %g", p, me.Cost, e.PeerCostMulti(p, me.Strategy))
+		}
+		if !almost(me.Gain(), me.SingleCost-me.Cost) {
+			t.Errorf("peer %d: gain accessor mismatch", p)
+		}
+	}
+}
+
+func TestBestMultiStrategyTrajectoryMonotone(t *testing.T) {
+	e := newTestEngine(t, 14, 8, 73, nil)
+	rng := stats.NewRNG(74)
+	for i := 0; i < 25; i++ {
+		e.Move(rng.Intn(14), cluster.CID(rng.Intn(7)))
+	}
+	for p := 0; p < 14; p++ {
+		me := e.BestMultiStrategy(p, 0) // unbounded
+		if len(me.Trajectory) != len(me.Strategy) {
+			t.Fatalf("peer %d: trajectory %d strategy %d", p, len(me.Trajectory), len(me.Strategy))
+		}
+		for i := 1; i < len(me.Trajectory); i++ {
+			if me.Trajectory[i] > me.Trajectory[i-1]+1e-12 {
+				t.Errorf("peer %d: trajectory rose at step %d: %v", p, i, me.Trajectory)
+			}
+		}
+		// Greedy stops only when no addition helps, so the last point
+		// is the reported cost.
+		if !almost(me.Trajectory[len(me.Trajectory)-1], me.Cost) {
+			t.Errorf("peer %d: trajectory end != cost", p)
+		}
+	}
+}
+
+func TestBestMultiStrategyJoiningEverythingBound(t *testing.T) {
+	// With every non-empty cluster joined the recall cost vanishes, so
+	// the greedy cost can never beat pure membership of all clusters
+	// minus nothing — sanity-check against PeerCostMulti(all).
+	e := newTestEngine(t, 12, 8, 79, nil)
+	all := e.Config().NonEmpty()
+	for p := 0; p < 12; p++ {
+		me := e.BestMultiStrategy(p, 0)
+		allCost := e.PeerCostMulti(p, all)
+		if me.Cost > math.Max(allCost, me.SingleCost)+1e-12 {
+			t.Errorf("peer %d: greedy %g worse than both single %g and all %g",
+				p, me.Cost, me.SingleCost, allCost)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// BestResponse returns peer p's best unilateral deviation: the target
+// cluster (an existing one or a fresh empty slot) and the cost
+// improvement it yields. Improvement <= 0 means p is already playing a
+// best response.
+func (e *Engine) BestResponse(p int) (to cluster.CID, improvement float64, newCluster bool) {
+	ev := e.EvaluateMoves(p)
+	to, cost := ev.Best, ev.BestCost
+	// Deviating to an empty cluster is a legal strategy change (the
+	// §2.3 counterexample depends on it), provided a slot is free.
+	if _, ok := e.cfg.EmptyCluster(); ok && e.cfg.Size(ev.Cur) > 1 && ev.AloneCost < cost {
+		to, cost, newCluster = cluster.None, ev.AloneCost, true
+	}
+	return to, ev.CurCost - cost, newCluster
+}
+
+// NashWitness describes a profitable deviation found by IsNash.
+type NashWitness struct {
+	Peer        int
+	From, To    cluster.CID
+	Improvement float64
+	NewCluster  bool
+}
+
+// IsNash reports whether the current configuration is a pure Nash
+// equilibrium: no peer can lower its individual cost by more than tol
+// with a unilateral cluster change (including founding an empty
+// cluster). On failure it returns a witness deviation.
+func (e *Engine) IsNash(tol float64) (bool, NashWitness) {
+	for p := 0; p < e.n; p++ {
+		to, imp, isNew := e.BestResponse(p)
+		if imp > tol {
+			return false, NashWitness{
+				Peer: p, From: e.cfg.ClusterOf(p), To: to,
+				Improvement: imp, NewCluster: isNew,
+			}
+		}
+	}
+	return true, NashWitness{Peer: -1, From: cluster.None, To: cluster.None}
+}
+
+// DynamicsResult reports the outcome of asynchronous best-response
+// dynamics (the "asynchronous players" variation the paper lists as
+// future work in §6).
+type DynamicsResult struct {
+	// Converged is true when a full pass over all peers produced no
+	// improving move.
+	Converged bool
+	// Passes counts full passes over the peer set.
+	Passes int
+	// Moves counts executed relocations.
+	Moves int
+	// CycleDetected is true when the dynamics revisited an earlier
+	// partition, proving non-convergence of this trajectory.
+	CycleDetected bool
+	// FinalSCost is the normalized social cost at termination.
+	FinalSCost float64
+}
+
+// BestResponseDynamics plays the game asynchronously: peers act one at
+// a time in random order, each applying its exact best response
+// (moves with improvement <= tol are skipped). It stops when a pass
+// makes no move, when a partition repeats (cycle), or after maxPasses.
+func (e *Engine) BestResponseDynamics(rng *stats.RNG, tol float64, maxPasses int) DynamicsResult {
+	var res DynamicsResult
+	seen := map[uint64]bool{e.cfg.CanonicalHash(): true}
+	for pass := 0; pass < maxPasses; pass++ {
+		res.Passes++
+		moved := false
+		for _, p := range rng.Perm(e.n) {
+			to, imp, isNew := e.BestResponse(p)
+			if imp <= tol {
+				continue
+			}
+			if isNew {
+				slot, ok := e.cfg.EmptyCluster()
+				if !ok {
+					continue
+				}
+				to = slot
+			}
+			e.Move(p, to)
+			res.Moves++
+			moved = true
+		}
+		if !moved {
+			res.Converged = true
+			break
+		}
+		h := e.cfg.CanonicalHash()
+		if seen[h] {
+			res.CycleDetected = true
+			break
+		}
+		seen[h] = true
+	}
+	res.FinalSCost = e.SCostNormalized()
+	return res
+}

@@ -1,0 +1,190 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/textproc"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.VocabPerCategory = 100
+	cfg.WordsPerDoc = 25
+	return cfg
+}
+
+func TestVocabularyIsPreprocessingStable(t *testing.T) {
+	// Every canonical word and every morphological variant must
+	// normalize back to the canonical form under the full pipeline.
+	for cat := 0; cat < 10; cat++ {
+		for k := 0; k < 200; k++ {
+			w := CategoryWord(cat, k)
+			if textproc.Stem(w) != w {
+				t.Fatalf("word %q not a stemmer fixed point", w)
+			}
+			for v := range morphVariants {
+				if got := textproc.Stem(inflect(w, v)); got != w {
+					t.Fatalf("variant %q of %q stems to %q", inflect(w, v), w, got)
+				}
+			}
+		}
+	}
+	for k := 0; k < 100; k++ {
+		w := SharedWord(k)
+		if textproc.Stem(w) != w {
+			t.Fatalf("shared word %q not stable", w)
+		}
+	}
+}
+
+func TestVocabularyDisjointness(t *testing.T) {
+	seen := map[string][2]int{}
+	for cat := 0; cat < 10; cat++ {
+		for k := 0; k < 300; k++ {
+			w := CategoryWord(cat, k)
+			if prev, dup := seen[w]; dup {
+				t.Fatalf("word %q collides: cat%d/k%d and cat%d/k%d", w, prev[0], prev[1], cat, k)
+			}
+			seen[w] = [2]int{cat, k}
+		}
+	}
+	for k := 0; k < 100; k++ {
+		w := SharedWord(k)
+		if _, dup := seen[w]; dup {
+			t.Fatalf("shared word %q collides with a category word", w)
+		}
+		if !strings.HasPrefix(w, "zu") {
+			t.Fatalf("shared word %q lacks the reserved prefix", w)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(testConfig(), 5)
+	b := NewGenerator(testConfig(), 5)
+	for i := 0; i < 20; i++ {
+		da := a.Document(i % 10)
+		db := b.Document(i % 10)
+		if da.Text != db.Text {
+			t.Fatalf("doc %d diverged", i)
+		}
+		if !da.Terms.Equal(db.Terms) {
+			t.Fatalf("doc %d terms diverged", i)
+		}
+	}
+}
+
+func TestDocumentTermsBelongToCategory(t *testing.T) {
+	cfg := testConfig()
+	cfg.SharedFraction = 0
+	g := NewGenerator(cfg, 7)
+	for cat := 0; cat < cfg.Categories; cat++ {
+		doc := g.Document(cat)
+		if doc.Category != cat {
+			t.Fatalf("doc category %d want %d", doc.Category, cat)
+		}
+		if doc.Terms.Len() == 0 {
+			t.Fatalf("empty document for category %d", cat)
+		}
+		for _, id := range doc.Terms.IDs() {
+			c, ok := g.CategoryOf(id)
+			if !ok || c != cat {
+				t.Fatalf("category-%d doc contains foreign term %q (cat %d, ok=%v)",
+					cat, g.Vocab().Name(id), c, ok)
+			}
+		}
+	}
+}
+
+func TestSharedFractionIntroducesSharedTerms(t *testing.T) {
+	cfg := testConfig()
+	cfg.SharedFraction = 0.5
+	g := NewGenerator(cfg, 9)
+	sharedSeen := false
+	for i := 0; i < 10 && !sharedSeen; i++ {
+		doc := g.Document(0)
+		for _, id := range doc.Terms.IDs() {
+			if _, ok := g.CategoryOf(id); !ok {
+				sharedSeen = true
+				break
+			}
+		}
+	}
+	if !sharedSeen {
+		t.Fatal("no shared-vocabulary term in 10 documents at fraction 0.5")
+	}
+}
+
+func TestRawTextExercisesPipeline(t *testing.T) {
+	cfg := testConfig()
+	cfg.StopNoise = 2 // heavy stop-word salting
+	cfg.MorphNoise = 1
+	g := NewGenerator(cfg, 11)
+	doc := g.Document(3)
+	toks := textproc.Tokenize(doc.Text)
+	stops, inflected := 0, 0
+	for _, tok := range toks {
+		if textproc.IsStopword(tok) {
+			stops++
+		} else if textproc.Stem(tok) != tok {
+			inflected++
+		}
+	}
+	if stops == 0 {
+		t.Error("no stop words in raw text despite StopNoise")
+	}
+	if inflected == 0 {
+		t.Error("no inflected forms in raw text despite MorphNoise")
+	}
+}
+
+func TestQueryWordRNGInVocabulary(t *testing.T) {
+	g := NewGenerator(testConfig(), 13)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		id := g.QueryWordRNG(4, rng)
+		c, ok := g.CategoryOf(id)
+		if !ok || c != 4 {
+			t.Fatalf("query word from wrong category: %v %v", c, ok)
+		}
+	}
+}
+
+func TestWordRank(t *testing.T) {
+	g := NewGenerator(testConfig(), 15)
+	if g.Vocab().Name(g.WordRank(2, 0)) != CategoryWord(2, 0) {
+		t.Fatal("WordRank mismatch")
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	cases := []Config{
+		{Categories: 0, VocabPerCategory: 10, WordsPerDoc: 5},
+		{Categories: 100, VocabPerCategory: 10, WordsPerDoc: 5},
+		{Categories: 5, VocabPerCategory: 0, WordsPerDoc: 5},
+		{Categories: 5, VocabPerCategory: 10, WordsPerDoc: 0},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			NewGenerator(cfg, 1)
+		}()
+	}
+}
+
+func TestCategoryOfSharedWord(t *testing.T) {
+	g := NewGenerator(testConfig(), 17)
+	rng := stats.NewRNG(2)
+	doc := g.DocumentRNG(0, rng)
+	_ = doc
+	id := g.shWords[0]
+	if _, ok := g.CategoryOf(id); ok {
+		t.Fatal("shared word attributed to a category")
+	}
+}

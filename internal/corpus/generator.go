@@ -1,0 +1,197 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/stats"
+	"repro/internal/textproc"
+)
+
+// Config parametrizes the synthetic collection.
+type Config struct {
+	// Categories is the number of topical categories (the paper uses 10).
+	Categories int
+	// VocabPerCategory is the number of distinct canonical words per
+	// category.
+	VocabPerCategory int
+	// SharedVocab is the number of canonical words shared across all
+	// categories (topic-neutral vocabulary). May be zero.
+	SharedVocab int
+	// WordsPerDoc is the number of content words sampled per document.
+	WordsPerDoc int
+	// TermZipfS is the Zipf exponent of term frequencies within a
+	// category vocabulary.
+	TermZipfS float64
+	// SharedFraction is the probability that a sampled content word is
+	// drawn from the shared vocabulary instead of the category one.
+	SharedFraction float64
+	// MorphNoise is the probability a word appears inflected
+	// (plural, -ing, -ed, -ly) in the raw text.
+	MorphNoise float64
+	// StopNoise is the expected number of stop words inserted per
+	// content word in the raw text.
+	StopNoise float64
+}
+
+// DefaultConfig mirrors the paper's setting: 10 categories, a few
+// hundred words each, moderately skewed term frequencies.
+func DefaultConfig() Config {
+	return Config{
+		Categories:       10,
+		VocabPerCategory: 200,
+		SharedVocab:      50,
+		WordsPerDoc:      60,
+		TermZipfS:        0.9,
+		SharedFraction:   0.1,
+		MorphNoise:       0.3,
+		StopNoise:        0.5,
+	}
+}
+
+// Document is one synthetic article.
+type Document struct {
+	// Category is the topical category the document was generated from.
+	Category int
+	// Text is the raw text, pre-preprocessing (contains stop words and
+	// inflected forms).
+	Text string
+	// Terms is the document's attribute set after the full textproc
+	// pipeline, interned against the generator's vocabulary.
+	Terms attr.Set
+}
+
+// Generator produces documents and query words deterministically from a
+// seed. It owns the attr.Vocab shared by all documents it generates.
+type Generator struct {
+	cfg     Config
+	vocab   *attr.Vocab
+	rng     *stats.RNG
+	catDist *stats.Zipf
+	shDist  *stats.Zipf
+
+	// catWords[c][k] is the interned ID of category c's k-th word;
+	// sorted by decreasing expected frequency (rank order).
+	catWords [][]attr.ID
+	shWords  []attr.ID
+}
+
+// NewGenerator validates cfg and builds the category vocabularies.
+func NewGenerator(cfg Config, seed uint64) *Generator {
+	if cfg.Categories <= 0 || cfg.Categories > len(wordConsonants) {
+		panic(fmt.Sprintf("corpus: Categories=%d outside [1,%d]", cfg.Categories, len(wordConsonants)))
+	}
+	if cfg.VocabPerCategory <= 0 || cfg.VocabPerCategory > syllableSpace*syllableSpace {
+		panic(fmt.Sprintf("corpus: VocabPerCategory=%d out of range", cfg.VocabPerCategory))
+	}
+	if cfg.WordsPerDoc <= 0 {
+		panic("corpus: WordsPerDoc must be positive")
+	}
+	g := &Generator{
+		cfg:     cfg,
+		vocab:   attr.NewVocab(),
+		rng:     stats.NewRNG(seed),
+		catDist: stats.NewZipf(cfg.VocabPerCategory, cfg.TermZipfS),
+	}
+	if cfg.SharedVocab > 0 {
+		g.shDist = stats.NewZipf(cfg.SharedVocab, cfg.TermZipfS)
+	}
+	g.catWords = make([][]attr.ID, cfg.Categories)
+	for c := 0; c < cfg.Categories; c++ {
+		g.catWords[c] = make([]attr.ID, cfg.VocabPerCategory)
+		for k := 0; k < cfg.VocabPerCategory; k++ {
+			w := CategoryWord(c, k)
+			verifyStable(w)
+			g.catWords[c][k] = g.vocab.Intern(w)
+		}
+	}
+	g.shWords = make([]attr.ID, cfg.SharedVocab)
+	for k := 0; k < cfg.SharedVocab; k++ {
+		w := SharedWord(k)
+		verifyStable(w)
+		g.shWords[k] = g.vocab.Intern(w)
+	}
+	return g
+}
+
+// Vocab returns the vocabulary shared by all generated documents.
+func (g *Generator) Vocab() *attr.Vocab { return g.vocab }
+
+// Config returns the generator configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Document generates one article of the given category using the
+// generator's own RNG stream.
+func (g *Generator) Document(category int) Document {
+	return g.DocumentRNG(category, g.rng)
+}
+
+// DocumentRNG generates one article of the given category using rng,
+// allowing callers to carve independent deterministic streams.
+func (g *Generator) DocumentRNG(category int, rng *stats.RNG) Document {
+	if category < 0 || category >= g.cfg.Categories {
+		panic(fmt.Sprintf("corpus: category %d out of range [0,%d)", category, g.cfg.Categories))
+	}
+	var raw strings.Builder
+	for i := 0; i < g.cfg.WordsPerDoc; i++ {
+		var w string
+		if g.shDist != nil && rng.Bool(g.cfg.SharedFraction) {
+			w = SharedWord(g.shDist.Sample(rng))
+		} else {
+			w = CategoryWord(category, g.catDist.Sample(rng))
+		}
+		if rng.Bool(g.cfg.MorphNoise) {
+			w = inflect(w, 1+rng.Intn(len(morphVariants)-1))
+		}
+		if i > 0 {
+			raw.WriteByte(' ')
+		}
+		raw.WriteString(w)
+		// Salt with stop words so the pipeline's filter has work to do.
+		for rng.Bool(g.cfg.StopNoise / (1 + g.cfg.StopNoise)) {
+			raw.WriteByte(' ')
+			raw.WriteString(textproc.StopwordAt(rng.Intn(textproc.StopwordCount())))
+		}
+	}
+	text := raw.String()
+	terms := textproc.UniqueTerms(text)
+	ids := make([]attr.ID, 0, len(terms))
+	for _, t := range terms {
+		// Every canonical word was interned at construction; anything
+		// unseen would indicate pipeline drift, which we want loudly.
+		id, ok := g.vocab.Lookup(t)
+		if !ok {
+			panic(fmt.Sprintf("corpus: processed term %q missing from vocabulary", t))
+		}
+		ids = append(ids, id)
+	}
+	return Document{Category: category, Text: text, Terms: attr.NewSet(ids...)}
+}
+
+// QueryWordRNG samples a category word with the same Zipf skew used for
+// document generation — the paper generates queries "by choosing a
+// random word from the texts", so frequent words are queried more.
+func (g *Generator) QueryWordRNG(category int, rng *stats.RNG) attr.ID {
+	return g.catWords[category][g.catDist.Sample(rng)]
+}
+
+// WordRank returns the interned ID of category cat's rank-k word
+// (rank 0 = most frequent).
+func (g *Generator) WordRank(cat, k int) attr.ID {
+	return g.catWords[cat][k]
+}
+
+// CategoryOf returns the category owning id and true, or 0,false for
+// shared-vocabulary attributes.
+func (g *Generator) CategoryOf(id attr.ID) (int, bool) {
+	name := g.vocab.Name(id)
+	if strings.HasPrefix(name, "zu") {
+		return 0, false
+	}
+	c := strings.IndexByte(wordConsonants, name[0])
+	if c < 0 || c >= g.cfg.Categories {
+		return 0, false
+	}
+	return c, true
+}

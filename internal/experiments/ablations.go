@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunThetaAblation compares the cluster participation cost functions θ
+// discussed in §2.1 (linear for fully connected clusters, logarithmic
+// for structured overlays, plus sqrt and constant controls) on the
+// same-category scenario from singletons. Cheaper membership growth
+// supports larger clusters at equilibrium.
+func RunThetaAblation(p Params) *metrics.Table {
+	t := metrics.NewTable("Ablation: theta function (same-category scenario, singleton init, selfish)",
+		"theta", "rounds", "converged", "#clusters", "mean-size", "SCost", "WCost")
+	for _, th := range []cluster.Theta{
+		cluster.LinearTheta(), cluster.LogTheta(), cluster.SqrtTheta(), cluster.ConstTheta(),
+	} {
+		pp := p
+		pp.Theta = th
+		sys := Build(pp, SameCategory)
+		rng := stats.NewRNG(pp.Seed ^ 0x7f4a7c15)
+		cfg := sys.InitialConfig(InitSingletons, rng)
+		eng := sys.NewEngine(cfg)
+		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+		sizes := eng.Config().Sizes()
+		mean := 0.0
+		for _, s := range sizes {
+			mean += float64(s)
+		}
+		if len(sizes) > 0 {
+			mean /= float64(len(sizes))
+		}
+		t.AddRow(th.Name, metrics.I(rpt.EffectiveRounds()), fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.FinalClusters), metrics.F(mean, 1),
+			metrics.F(rpt.FinalSCost, 3), metrics.F(rpt.FinalWCost, 3))
+	}
+	return t
+}
+
+// RunEpsilonAblation sweeps the protocol's stop threshold ε: larger
+// thresholds terminate earlier at the price of residual cost.
+func RunEpsilonAblation(p Params) *metrics.Table {
+	t := metrics.NewTable("Ablation: stop threshold epsilon (same-category scenario, random m=M init, selfish)",
+		"epsilon", "rounds", "converged", "#clusters", "SCost", "messages")
+	for _, eps := range []float64{0.0001, 0.001, 0.01, 0.05, 0.1} {
+		pp := p
+		pp.Epsilon = eps
+		sys := Build(pp, SameCategory)
+		rng := stats.NewRNG(pp.Seed ^ 0x2545f491)
+		cfg := sys.InitialConfig(InitRandomM, rng)
+		eng := sys.NewEngine(cfg)
+		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+		t.AddRow(metrics.F(eps, 4), metrics.I(rpt.EffectiveRounds()), fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3), metrics.I(rpt.Messages))
+	}
+	return t
+}
+
+// RunHybridComparison sweeps the λ mix of the hybrid strategy the paper
+// lists as future work (§6): λ = 1 is pure selfish, λ = 0 pure
+// altruistic.
+func RunHybridComparison(p Params) *metrics.Table {
+	t := metrics.NewTable("Extension: hybrid strategy lambda sweep (singleton init)",
+		"scenario", "lambda", "rounds", "converged", "#clusters", "SCost")
+	for _, sc := range []Scenario{SameCategory, DifferentCategory} {
+		sys := Build(p, sc)
+		for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			rng := stats.NewRNG(p.Seed ^ 0x85ebca6b)
+			cfg := sys.InitialConfig(InitSingletons, rng)
+			eng := sys.NewEngine(cfg)
+			rpt := sys.NewRunner(eng, core.NewHybrid(lambda), true).Run()
+			t.AddRow(sc.String(), metrics.F(lambda, 2), metrics.I(rpt.EffectiveRounds()),
+				fmt.Sprint(rpt.Converged), metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3))
+		}
+	}
+	return t
+}
+
+// RunPairedDemandAblation contrasts the different-category scenario
+// with and without reciprocal interests. With paired demand the
+// selfish game settles into many small clusters (the paper's Table 1
+// shape); without it the demand graph is an open chain and selfish
+// reformulation churns in a few giant clusters without converging —
+// consistent with the non-convergence results of Moscibroda et al.
+// that the paper cites.
+func RunPairedDemandAblation(p Params) *metrics.Table {
+	t := metrics.NewTable("Ablation: paired vs chain demand (different-category scenario, singleton init, selfish)",
+		"demand", "rounds", "converged", "#clusters", "SCost", "WCost")
+	for _, paired := range []bool{true, false} {
+		pp := p
+		pp.PairedDemand = paired
+		sys := Build(pp, DifferentCategory)
+		rng := stats.NewRNG(pp.Seed ^ 0xc2b2ae35)
+		cfg := sys.InitialConfig(InitSingletons, rng)
+		eng := sys.NewEngine(cfg)
+		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+		name := "paired (reciprocal)"
+		if !paired {
+			name = "chain (open)"
+		}
+		t.AddRow(name, metrics.I(rpt.EffectiveRounds()), fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3), metrics.F(rpt.FinalWCost, 3))
+	}
+	return t
+}
+
+// clgainMarginal is an Altruistic variant using the weaker
+// DeltaMembershipMarginal reading of §3.1.2, for the clgain ablation.
+type clgainMarginal struct{}
+
+func (clgainMarginal) Name() string { return "altruistic-marginal" }
+
+func (clgainMarginal) Decide(e *core.Engine, p int, _ float64, _ bool) core.Decision {
+	ev := e.EvaluateContribution(p)
+	d := core.Decision{Peer: p, From: ev.Cur}
+	if ev.Best == ev.Cur {
+		return d
+	}
+	gain := ev.BestContribution - ev.CurContribution - e.DeltaMembershipMarginal(ev.Best)
+	if gain <= 0 {
+		return d
+	}
+	d.To = ev.Best
+	d.Gain = gain
+	d.Move = true
+	return d
+}
+
+// RunClgainAblation contrasts the two readings of the altruistic
+// clgain's membership charge (§3.1.2 is ambiguous): charging the
+// joiner for the total membership-cost increase of the target cluster
+// versus only the marginal per-member increase. The marginal reading
+// lets the whole network collapse into one cluster.
+func RunClgainAblation(p Params) *metrics.Table {
+	t := metrics.NewTable("Ablation: altruistic clgain membership charge (singleton init)",
+		"scenario", "charge", "rounds", "converged", "#clusters", "SCost")
+	for _, sc := range []Scenario{SameCategory, DifferentCategory} {
+		sys := Build(p, sc)
+		for _, strat := range []core.Strategy{core.NewAltruistic(), clgainMarginal{}} {
+			rng := stats.NewRNG(p.Seed ^ 0x27d4eb2f)
+			cfg := sys.InitialConfig(InitSingletons, rng)
+			eng := sys.NewEngine(cfg)
+			rpt := sys.NewRunner(eng, strat, true).Run()
+			charge := "total"
+			if strat.Name() == "altruistic-marginal" {
+				charge = "marginal"
+			}
+			t.AddRow(sc.String(), charge, metrics.I(rpt.EffectiveRounds()),
+				fmt.Sprint(rpt.Converged), metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3))
+		}
+	}
+	return t
+}
+
+// RunSharedVocabAblation sweeps the fraction of topic-neutral shared
+// vocabulary in documents. Shared words put query results in every
+// cluster, so even the ideal category clustering retains residual
+// recall cost — quantifying how clean the paper's "zero recall cost"
+// scenario 1 really needs the data to be.
+func RunSharedVocabAblation(p Params) *metrics.Table {
+	t := metrics.NewTable("Ablation: shared vocabulary fraction (same-category scenario, singleton init, selfish)",
+		"shared-fraction", "rounds", "converged", "#clusters", "SCost", "WCost")
+	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		pp := p
+		pp.Corpus.SharedFraction = frac
+		sys := Build(pp, SameCategory)
+		rng := stats.NewRNG(pp.Seed ^ 0x165667b1)
+		cfg := sys.InitialConfig(InitSingletons, rng)
+		eng := sys.NewEngine(cfg)
+		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+		t.AddRow(metrics.F(frac, 2), metrics.I(rpt.EffectiveRounds()), fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3), metrics.F(rpt.FinalWCost, 3))
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunAsyncComparison contrasts the paper's coordinated two-phase
+// protocol with asynchronous best-response dynamics (peers move one at
+// a time, no representatives, no lock rule) — the "asynchronous
+// players" game variation §6 lists as future work.
+func RunAsyncComparison(p Params) *metrics.Table {
+	t := metrics.NewTable("Extension: coordinated protocol vs asynchronous best response (singleton init, selfish)",
+		"scenario", "mode", "converged", "rounds/passes", "moves", "#clusters", "SCost")
+	for _, sc := range []Scenario{SameCategory, DifferentCategory, Uniform} {
+		sys := Build(p, sc)
+
+		// Coordinated protocol.
+		rng := stats.NewRNG(p.Seed ^ 0xd6e8feb8)
+		cfg := sys.InitialConfig(InitSingletons, rng)
+		eng := sys.NewEngine(cfg)
+		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+		moves := 0
+		for _, rr := range rpt.Rounds {
+			moves += rr.Granted
+		}
+		t.AddRow(sc.String(), "protocol", fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.EffectiveRounds()), metrics.I(moves),
+			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3))
+
+		// Asynchronous best-response dynamics from the same start.
+		rng = stats.NewRNG(p.Seed ^ 0xd6e8feb8)
+		cfg = sys.InitialConfig(InitSingletons, rng)
+		eng = sys.NewEngine(cfg)
+		dyn := eng.BestResponseDynamics(stats.NewRNG(p.Seed^0xa511e9b3), p.Epsilon, p.MaxRounds)
+		t.AddRow(sc.String(), "async-BR", fmt.Sprint(dyn.Converged),
+			metrics.I(dyn.Passes), metrics.I(dyn.Moves),
+			metrics.I(eng.Config().NumNonEmpty()), metrics.F(dyn.FinalSCost, 3))
+	}
+	return t
+}

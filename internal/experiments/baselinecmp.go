@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunBaselineComparison quantifies the paper's §1 motivation: after a
+// workload drift (half of one cluster's peers change interest), local
+// reformulation should restore quality at a fraction of the
+// communication cost of re-clustering the whole network from scratch
+// with global knowledge. Compared responses:
+//
+//	none        — leave the stale clustering in place
+//	selfish     — the paper's protocol, selfish strategy
+//	altruistic  — the paper's protocol, altruistic strategy
+//	kmeans      — centralized cosine k-means over all peer vectors
+//	flood       — collapse to a single cluster (no clustering)
+//	singletons  — no cooperation at all
+func RunBaselineComparison(p Params) *metrics.Table {
+	p.DemandZipfS = 0
+	t := metrics.NewTable("Extension: maintenance responses after workload drift",
+		"response", "SCost", "WCost", "#clusters", "purity", "messages")
+
+	build := func() (*System, []int) {
+		sys := Build(p, SameCategory)
+		cfg := sys.CategoryConfig()
+		members := cfg.Members(0)
+		rng := stats.NewRNG(p.Seed ^ 0x94d049bb)
+		half := members[:len(members)/2]
+		for _, pid := range half {
+			sys.RedirectWorkload(pid, 1, 1, rng)
+		}
+		return sys, half
+	}
+
+	addRow := func(name string, sys *System, eng *core.Engine, msgs int) {
+		t.AddRow(name,
+			metrics.F(eng.SCostNormalized(), 3),
+			metrics.F(eng.WCostNormalized(), 3),
+			metrics.I(eng.Config().NumNonEmpty()),
+			metrics.F(baseline.CategoryPurity(eng.Config(), sys.DataCat), 3),
+			metrics.I(msgs))
+	}
+
+	// No maintenance.
+	sys, _ := build()
+	eng := sys.NewEngine(sys.CategoryConfig())
+	addRow("none", sys, eng, 0)
+
+	// Protocol, both strategies.
+	for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
+		sys, _ := build()
+		eng := sys.NewEngine(sys.CategoryConfig())
+		rpt := sys.NewRunner(eng, strat, false).Run()
+		addRow(strat.Name(), sys, eng, rpt.Messages)
+	}
+
+	// Global k-means re-clustering (k = number of categories).
+	sys, _ = build()
+	km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0xbf58476d))
+	eng = sys.NewEngine(km.Config)
+	addRow(fmt.Sprintf("kmeans(k=%d)", p.Categories), sys, eng, km.Messages)
+
+	// Flood and singletons.
+	sys, _ = build()
+	eng = sys.NewEngine(baseline.SingleCluster(p.Peers))
+	addRow("flood", sys, eng, 0)
+	sys, _ = build()
+	eng = sys.NewEngine(baseline.Singletons(p.Peers))
+	addRow("singletons", sys, eng, 0)
+
+	return t
+}
+
+// RunKMeansDiscovery contrasts cluster discovery from scratch: the
+// selfish protocol from singletons (the paper's §4.1 conclusion that
+// the strategies double as a discovery mechanism) versus centralized
+// k-means, on clustering purity and communication.
+func RunKMeansDiscovery(p Params) *metrics.Table {
+	t := metrics.NewTable("Extension: decentralized discovery vs centralized k-means (same-category scenario)",
+		"method", "#clusters", "SCost", "purity", "messages")
+	sys := Build(p, SameCategory)
+
+	rng := stats.NewRNG(p.Seed ^ 0x2545f4914f6cdd1d)
+	cfg := sys.InitialConfig(InitSingletons, rng)
+	eng := sys.NewEngine(cfg)
+	rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+	t.AddRow("selfish protocol", metrics.I(rpt.FinalClusters),
+		metrics.F(rpt.FinalSCost, 3),
+		metrics.F(baseline.CategoryPurity(eng.Config(), sys.DataCat), 3),
+		metrics.I(rpt.Messages))
+
+	km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0x9e3779b9))
+	eng = sys.NewEngine(km.Config)
+	t.AddRow(fmt.Sprintf("kmeans(k=%d)", p.Categories), metrics.I(km.Config.NumNonEmpty()),
+		metrics.F(eng.SCostNormalized(), 3),
+		metrics.F(baseline.CategoryPurity(km.Config, sys.DataCat), 3),
+		metrics.I(km.Messages))
+	return t
+}

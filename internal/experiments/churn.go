@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunChurn simulates session churn over successive maintenance periods:
+// each period, a fraction of peer slots is taken over by fresh peers
+// (new content and interests in a random category), then one protocol
+// period runs. The series records the normalized social cost before
+// and after maintenance each period — the paper's headline claim is
+// that periodic local reformulation sustains system quality under such
+// churn.
+func RunChurn(p Params, periods int, churnFraction float64) *metrics.Series {
+	if periods <= 0 {
+		periods = 10
+	}
+	if churnFraction <= 0 {
+		churnFraction = 0.05
+	}
+	p.DemandZipfS = 0
+	out := metrics.NewSeries("Extension: social cost under churn (selfish maintenance)", "period")
+	out.AddColumn("before-maintenance")
+	out.AddColumn("after-maintenance")
+
+	sys := Build(p, SameCategory)
+	cfg := sys.CategoryConfig()
+	eng := sys.NewEngine(cfg)
+	runner := sys.NewRunner(eng, core.NewSelfish(), true)
+	rng := stats.NewRNG(p.Seed ^ 0xff51afd7ed558ccd)
+
+	n := p.Peers
+	k := int(churnFraction*float64(n) + 0.5)
+	for period := 1; period <= periods; period++ {
+		// Churn: k random slots are replaced by newcomers.
+		for _, slot := range rng.Perm(n)[:k] {
+			cat := rng.Intn(p.Categories)
+			sys.ReplacePeerIdentity(slot, cat, cat, rng)
+		}
+		eng.Rebuild()
+		before := eng.SCostNormalized()
+		runner.Run()
+		out.AddPoint(float64(period), before, eng.SCostNormalized())
+	}
+	return out
+}
+
+// RunLookupCost addresses a §6 open issue: the expected look-up cost as
+// a function of the number of clusters and their sizes. Under the
+// paper's fully connected intra-cluster topology, answering a query
+// costs one hop per cluster contacted plus θ(|c|) messages inside each
+// contacted cluster; with the initiator's cluster contacted first and
+// remote clusters contacted only for missing results, the expected
+// cost per query is
+//
+//	θ(|c_own|) + Σ_{remote c} miss-driven(θ(|c|) + 1)
+//
+// weighted by where the query's results actually reside. The table
+// reports this for the configurations the selfish protocol reaches
+// from several initial cluster counts.
+func RunLookupCost(p Params) *metrics.Table {
+	t := metrics.NewTable("Extension: expected per-query lookup cost vs clustering",
+		"init", "#clusters", "mean-size", "in-cluster-recall", "lookup-cost")
+	sys := Build(p, SameCategory)
+	for _, init := range []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore} {
+		rng := stats.NewRNG(p.Seed ^ 0xc4ceb9fe1a85ec53)
+		cfg := sys.InitialConfig(init, rng)
+		eng := sys.NewEngine(cfg)
+		sys.NewRunner(eng, core.NewSelfish(), true).Run()
+
+		nonEmpty := eng.Config().NonEmpty()
+		meanSize := float64(p.Peers) / float64(len(nonEmpty))
+		var recallSum, lookupSum, weightSum float64
+		wl := sys.WL
+		for pid := 0; pid < p.Peers; pid++ {
+			own := eng.Config().ClusterOf(pid)
+			for _, entry := range wl.Peer(pid) {
+				w := float64(entry.Count)
+				if eng.TotalResults(entry.Q) == 0 {
+					continue
+				}
+				inRecall := eng.ClusterRecall(entry.Q, own)
+				cost := p.Theta.F(eng.Config().Size(own))
+				for _, c := range nonEmpty {
+					if c == own {
+						continue
+					}
+					r := eng.ClusterRecall(entry.Q, c)
+					if r > 0 {
+						// Contact the remote cluster: one routing hop
+						// plus the intra-cluster evaluation.
+						cost += 1 + p.Theta.F(eng.Config().Size(c))
+					}
+				}
+				recallSum += w * inRecall
+				lookupSum += w * cost
+				weightSum += w
+			}
+		}
+		t.AddRow(init.String(), metrics.I(len(nonEmpty)), metrics.F(meanSize, 1),
+			metrics.F(recallSum/weightSum, 3), metrics.F(lookupSum/weightSum, 1))
+	}
+	return t
+}

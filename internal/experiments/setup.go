@@ -1,0 +1,448 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§4) plus the ablations listed in DESIGN.md. Every
+// driver is deterministic given a seed and returns metrics tables or
+// series that cmd/reform renders.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scenario selects the data/query distribution of §4.1.
+type Scenario int
+
+const (
+	// SameCategory: both the data and the queries of a peer fall into
+	// the same category.
+	SameCategory Scenario = iota
+	// DifferentCategory: each peer holds data of a single category and
+	// queries a single but different category.
+	DifferentCategory
+	// Uniform: data and queries of each peer are drawn uniformly at
+	// random from all categories.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case SameCategory:
+		return "same-category"
+	case DifferentCategory:
+		return "different-category"
+	case Uniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("scenario(%d)", int(s))
+}
+
+// InitKind selects the initial system configuration of §4.1.
+type InitKind int
+
+const (
+	// InitSingletons: each peer forms its own cluster (case i).
+	InitSingletons InitKind = iota
+	// InitRandomM: peers are randomly distributed to m = M clusters
+	// (case ii).
+	InitRandomM
+	// InitFewer: peers belong to m < M clusters (case iii).
+	InitFewer
+	// InitMore: peers belong to m > M clusters (case iv).
+	InitMore
+)
+
+// String implements fmt.Stringer.
+func (k InitKind) String() string {
+	switch k {
+	case InitSingletons:
+		return "i (singletons)"
+	case InitRandomM:
+		return "ii (m=M)"
+	case InitFewer:
+		return "iii (m<M)"
+	case InitMore:
+		return "iv (m>M)"
+	}
+	return fmt.Sprintf("init(%d)", int(k))
+}
+
+// Params bundles every knob of the evaluation. DefaultParams mirrors
+// the paper's setting.
+type Params struct {
+	// Peers is |P| (the paper uses 200).
+	Peers int
+	// Categories is the number of topical categories (10).
+	Categories int
+	// DocsPerPeer is how many articles each peer shares.
+	DocsPerPeer int
+	// TotalQueries is num(Q), the size of the global query list.
+	TotalQueries int
+	// DistinctQueriesPerPeer bounds how many distinct query words each
+	// peer's local workload spans. Peers have focused interests: a few
+	// specific words queried repeatedly. Small values concentrate a
+	// peer's recall demand on few supplier peers, which is what lets
+	// the different-category scenario settle into many small clusters
+	// (the paper reports ~90).
+	DistinctQueriesPerPeer int
+	// DemandZipfS skews how queries are apportioned to peers ("some
+	// peers are more demanding than others"). 0 gives every peer the
+	// same share (the §4.2 setting).
+	DemandZipfS float64
+	// PairedDemand applies to the different-category scenario: when
+	// true (the default via DefaultParams), a peer of type
+	// (data=i, query=j) draws its query words from the documents of
+	// the reciprocal peers (data=j, query=i). Interests are then
+	// mutual, which is what lets the selfish game settle into the many
+	// small clusters Table 1 reports for this scenario; without it the
+	// demand graph is an open chain and selfish reformulation churns
+	// forever (shown by the paired-demand ablation and consistent with
+	// the non-convergence results of Moscibroda et al. that the paper
+	// cites).
+	PairedDemand bool
+	// Alpha is the membership-cost weight (α = 1 in the paper).
+	Alpha float64
+	// Epsilon is the protocol's gain threshold (0.001).
+	Epsilon float64
+	// MaxRounds caps protocol runs.
+	MaxRounds int
+	// Theta is the cluster participation cost function (linear).
+	Theta cluster.Theta
+	// Corpus configures the synthetic article generator.
+	Corpus corpus.Config
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultParams returns the paper's experimental setting.
+func DefaultParams() Params {
+	return Params{
+		Peers:                  200,
+		Categories:             10,
+		DocsPerPeer:            5,
+		TotalQueries:           2000,
+		DistinctQueriesPerPeer: 3,
+		DemandZipfS:            0.8,
+		PairedDemand:           true,
+		Alpha:                  1,
+		Epsilon:                0.001,
+		MaxRounds:              300,
+		Theta:                  cluster.LinearTheta(),
+		Corpus: corpus.Config{
+			Categories:       10,
+			VocabPerCategory: 2000,
+			SharedVocab:      50,
+			WordsPerDoc:      30,
+			TermZipfS:        0.7,
+			// Documents are pure category text by default: the Table 1
+			// scenario-1 ideal has zero recall cost only when query
+			// results never straddle categories. The shared-vocabulary
+			// ablation turns this up.
+			SharedFraction: 0,
+			MorphNoise:     0.3,
+			StopNoise:      0.5,
+		},
+		Seed: 1,
+	}
+}
+
+// Scaled shrinks the workload for fast tests and benchmarks while
+// preserving the scenario shape: peers and queries scale by 1/f.
+func (p Params) Scaled(f int) Params {
+	if f <= 1 {
+		return p
+	}
+	p.Peers = maxInt(p.Categories*2, p.Peers/f)
+	p.TotalQueries = maxInt(p.Peers*4, p.TotalQueries/f)
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// System is a fully built instance of the paper's simulated network:
+// content, workload and category bookkeeping, ready to be wired to a
+// core engine under some initial configuration.
+type System struct {
+	Params   Params
+	Scenario Scenario
+	Gen      *corpus.Generator
+	Peers    []*peer.Peer
+	WL       *workload.Workload
+	// DataCat and QueryCat record each peer's category assignment
+	// (-1 under the uniform scenario).
+	DataCat, QueryCat []int
+	// M is the natural cluster count of the scenario: the number of
+	// categories for same-category, the number of ordered category
+	// pairs for different-category.
+	M int
+	// pools[c] holds the terms of category c occurring in generated
+	// documents, one entry per (document, distinct term) pair. Queries
+	// are drawn uniformly from this urn — the paper generates queries
+	// "by choosing a random word from the texts", so a word's chance of
+	// being queried is proportional to its document frequency.
+	pools [][]attr.ID
+	// typePools mirrors pools per (dataCat, queryCat) peer type; only
+	// populated for the different-category scenario under PairedDemand.
+	typePools map[[2]int][]attr.ID
+}
+
+// Build constructs the System for a scenario.
+func Build(p Params, sc Scenario) *System {
+	gen := corpus.NewGenerator(p.Corpus, p.Seed)
+	root := stats.NewRNG(p.Seed ^ 0xabcdef12345)
+	rngDocs := root.Split()
+	rngAssign := root.Split()
+	rngWl := root.Split()
+
+	sys := &System{
+		Params:   p,
+		Scenario: sc,
+		Gen:      gen,
+		WL:       workload.New(p.Peers),
+		DataCat:  make([]int, p.Peers),
+		QueryCat: make([]int, p.Peers),
+		pools:    make([][]attr.ID, p.Categories),
+	}
+
+	// Category typing per scenario.
+	switch sc {
+	case SameCategory:
+		sys.M = p.Categories
+		for i := 0; i < p.Peers; i++ {
+			c := i % p.Categories
+			sys.DataCat[i], sys.QueryCat[i] = c, c
+		}
+	case DifferentCategory:
+		// Ordered pairs (i,j), i != j: C*(C-1) peer types.
+		sys.M = p.Categories * (p.Categories - 1)
+		t := 0
+		for i := 0; i < p.Peers; i++ {
+			di := t / (p.Categories - 1)
+			off := t % (p.Categories - 1)
+			qi := off
+			if qi >= di {
+				qi++
+			}
+			sys.DataCat[i], sys.QueryCat[i] = di, qi
+			t = (t + 1) % sys.M
+		}
+	case Uniform:
+		sys.M = p.Categories
+		for i := 0; i < p.Peers; i++ {
+			sys.DataCat[i], sys.QueryCat[i] = -1, -1
+		}
+	}
+
+	// Content: DocsPerPeer articles per peer; uniform scenario draws a
+	// fresh random category per document.
+	sys.Peers = make([]*peer.Peer, p.Peers)
+	for i := 0; i < p.Peers; i++ {
+		pr := peer.New(i)
+		items := make([]attr.Set, 0, p.DocsPerPeer)
+		for d := 0; d < p.DocsPerPeer; d++ {
+			cat := sys.DataCat[i]
+			if cat < 0 {
+				cat = rngAssign.Intn(p.Categories)
+			}
+			doc := gen.DocumentRNG(cat, rngDocs)
+			items = append(items, doc.Terms)
+			sys.addToPool(cat, doc.Terms.IDs())
+			if sc == DifferentCategory && p.PairedDemand {
+				key := [2]int{sys.DataCat[i], sys.QueryCat[i]}
+				if sys.typePools == nil {
+					sys.typePools = make(map[[2]int][]attr.ID)
+				}
+				sys.typePools[key] = append(sys.typePools[key], doc.Terms.IDs()...)
+			}
+		}
+		pr.SetItems(items)
+		sys.Peers[i] = pr
+	}
+
+	// Workload: TotalQueries instances apportioned by a Zipf law over a
+	// shuffled peer order, each instance a random word from the texts
+	// of the peer's query category.
+	counts := demandCounts(p, rngWl)
+	distinct := p.DistinctQueriesPerPeer
+	if distinct <= 0 {
+		distinct = 3
+	}
+	for i := 0; i < p.Peers; i++ {
+		cat := sys.QueryCat[i]
+		if cat < 0 {
+			cat = rngWl.Intn(p.Categories)
+		}
+		// Under paired demand, the peer's interests target the
+		// documents of its reciprocal type (data=queryCat, query=dataCat).
+		var partnerPool []attr.ID
+		if sys.typePools != nil {
+			partnerPool = sys.typePools[[2]int{sys.QueryCat[i], sys.DataCat[i]}]
+		}
+		words := make([]attr.ID, 0, distinct)
+		for len(words) < distinct {
+			if len(partnerPool) > 0 {
+				words = append(words, partnerPool[rngWl.Intn(len(partnerPool))])
+			} else {
+				words = append(words, sys.SampleQueryWord(cat, rngWl))
+			}
+		}
+		// Spread the peer's query instances over its words with a mild
+		// skew (first word dominates), keeping every word queried at
+		// least once when the budget allows.
+		w := stats.ZipfWeights(len(words), 1)
+		left := counts[i]
+		for k, word := range words {
+			c := int(w[k]*float64(counts[i]) + 0.5)
+			if c < 1 {
+				c = 1
+			}
+			if c > left {
+				c = left
+			}
+			if c == 0 {
+				break
+			}
+			sys.WL.Add(i, attr.NewSet(word), c)
+			left -= c
+		}
+		if left > 0 {
+			sys.WL.Add(i, attr.NewSet(words[0]), left)
+		}
+	}
+	return sys
+}
+
+// demandCounts apportions TotalQueries across peers: Zipf-skewed when
+// DemandZipfS > 0, exactly equal shares when it is 0 (Property 1's
+// uniform split, used by §4.2).
+func demandCounts(p Params, rng *stats.RNG) []int {
+	counts := make([]int, p.Peers)
+	if p.DemandZipfS == 0 {
+		for i := range counts {
+			counts[i] = p.TotalQueries / p.Peers
+			if counts[i] == 0 {
+				counts[i] = 1
+			}
+		}
+		return counts
+	}
+	w := stats.ZipfWeights(p.Peers, p.DemandZipfS)
+	order := rng.Perm(p.Peers)
+	for rank, pi := range order {
+		c := int(w[rank]*float64(p.TotalQueries) + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		counts[pi] = c
+	}
+	return counts
+}
+
+// addToPool records one document's distinct terms into its category's
+// query urn. Terms are credited to the category that owns them in the
+// vocabulary, so shared-vocabulary words never pollute a category pool.
+func (s *System) addToPool(cat int, ids []attr.ID) {
+	for _, id := range ids {
+		c, ok := s.Gen.CategoryOf(id)
+		if !ok || c != cat {
+			continue
+		}
+		s.pools[cat] = append(s.pools[cat], id)
+	}
+}
+
+// SampleQueryWord draws a document-frequency-weighted random word from
+// the texts of category cat.
+func (s *System) SampleQueryWord(cat int, rng *stats.RNG) attr.ID {
+	pool := s.pools[cat]
+	if len(pool) == 0 {
+		// No document of this category was generated (possible only in
+		// tiny test systems); fall back to the vocabulary distribution.
+		return s.Gen.QueryWordRNG(cat, rng)
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// RefreshPool rebuilds the term pool of category cat from the current
+// peer contents (content-update experiments replace documents).
+func (s *System) RefreshPool(cat int) {
+	s.pools[cat] = nil
+	for _, pr := range s.Peers {
+		for _, it := range pr.Items() {
+			s.addToPool(cat, it.IDs())
+		}
+	}
+}
+
+// InitialConfig builds one of the §4.1 starting configurations.
+func (s *System) InitialConfig(kind InitKind, rng *stats.RNG) *cluster.Config {
+	n := s.Params.Peers
+	switch kind {
+	case InitSingletons:
+		return cluster.NewSingletons(n)
+	case InitRandomM:
+		return randomConfig(n, minInt(s.M, n), rng)
+	case InitFewer:
+		return randomConfig(n, maxInt(2, s.M/2), rng)
+	case InitMore:
+		return randomConfig(n, minInt(n, 2*s.M), rng)
+	}
+	panic(fmt.Sprintf("experiments: unknown init kind %d", kind))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func randomConfig(n, m int, rng *stats.RNG) *cluster.Config {
+	assign := make([]cluster.CID, n)
+	for i := range assign {
+		assign[i] = cluster.CID(rng.Intn(m))
+	}
+	return cluster.FromAssignment(assign)
+}
+
+// CategoryConfig assigns every peer to the cluster of its data
+// category — the ideal clustering of the same-category scenario and
+// the "good configuration" §4.2 starts from. It panics under the
+// uniform scenario, which has no category structure.
+func (s *System) CategoryConfig() *cluster.Config {
+	assign := make([]cluster.CID, s.Params.Peers)
+	for i, c := range s.DataCat {
+		if c < 0 {
+			panic("experiments: CategoryConfig on uniform scenario")
+		}
+		assign[i] = cluster.CID(c)
+	}
+	return cluster.FromAssignment(assign)
+}
+
+// NewEngine wires the system to a fresh core engine over cfg.
+func (s *System) NewEngine(cfg *cluster.Config) *core.Engine {
+	return core.New(s.Peers, s.WL, cfg, s.Params.Theta, s.Params.Alpha)
+}
+
+// NewRunner builds a protocol runner with the system's parameters.
+func (s *System) NewRunner(eng *core.Engine, strat core.Strategy, allowNew bool) *protocol.Runner {
+	return protocol.NewRunner(eng, strat, protocol.Options{
+		Epsilon:          s.Params.Epsilon,
+		MaxRounds:        s.Params.MaxRounds,
+		AllowNewClusters: allowNew,
+	})
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// Table1Cell is one (scenario, init, strategy) run.
+type Table1Cell struct {
+	Scenario Scenario
+	Init     InitKind
+	Strategy string
+	// Converged reports whether the protocol reached quiescence within
+	// MaxRounds; Rounds is meaningful only when it did (the paper
+	// prints "-" otherwise).
+	Converged bool
+	Rounds    int
+	Clusters  int
+	SCost     float64
+	WCost     float64
+	// Nash reports whether the final configuration is a pure Nash
+	// equilibrium of the selfish game (checked with tolerance ε).
+	Nash bool
+}
+
+// Table1Result holds every cell plus the rendered table.
+type Table1Result struct {
+	Cells []Table1Cell
+}
+
+// RunTable1 reproduces Table 1: fixed query workload and content, three
+// data/query scenarios, four initial configurations, selfish and
+// altruistic relocation, reporting rounds to equilibrium, final cluster
+// count and both normalized cost measures.
+func RunTable1(p Params) *Table1Result {
+	res := &Table1Result{}
+	for _, sc := range []Scenario{SameCategory, DifferentCategory, Uniform} {
+		sys := Build(p, sc)
+		for _, init := range []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore} {
+			for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
+				// The initial configuration must be identical across
+				// strategies: derive its RNG from (seed, scenario, init)
+				// only.
+				rng := stats.NewRNG(p.Seed ^ uint64(sc)<<8 ^ uint64(init)<<16 ^ 0x517cc1b727220a95)
+				cfg := sys.InitialConfig(init, rng)
+				eng := sys.NewEngine(cfg)
+				runner := sys.NewRunner(eng, strat, true)
+				rpt := runner.Run()
+				nash, _ := eng.IsNash(p.Epsilon)
+				res.Cells = append(res.Cells, Table1Cell{
+					Scenario:  sc,
+					Init:      init,
+					Strategy:  strat.Name(),
+					Converged: rpt.Converged,
+					Rounds:    rpt.EffectiveRounds(),
+					Clusters:  rpt.FinalClusters,
+					SCost:     rpt.FinalSCost,
+					WCost:     rpt.FinalWCost,
+					Nash:      nash,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Table renders the result in the paper's layout: one row per
+// (scenario, init), selfish and altruistic side by side.
+func (r *Table1Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Table 1: results for fixed query workload and content",
+		"scenario", "init",
+		"rounds(self)", "rounds(alt)",
+		"#clusters(self)", "#clusters(alt)",
+		"SCost(self)", "SCost(alt)",
+		"WCost(self)", "WCost(alt)",
+	)
+	byKey := map[[2]int]map[string]Table1Cell{}
+	for _, c := range r.Cells {
+		k := [2]int{int(c.Scenario), int(c.Init)}
+		if byKey[k] == nil {
+			byKey[k] = map[string]Table1Cell{}
+		}
+		byKey[k][c.Strategy] = c
+	}
+	rounds := func(c Table1Cell) string {
+		if !c.Converged {
+			return "-"
+		}
+		return metrics.I(c.Rounds)
+	}
+	for _, sc := range []Scenario{SameCategory, DifferentCategory, Uniform} {
+		for _, init := range []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore} {
+			cells := byKey[[2]int{int(sc), int(init)}]
+			s, a := cells["selfish"], cells["altruistic"]
+			t.AddRow(
+				sc.String(), init.String(),
+				rounds(s), rounds(a),
+				metrics.I(s.Clusters), metrics.I(a.Clusters),
+				metrics.F(s.SCost, 2), metrics.F(a.SCost, 2),
+				metrics.F(s.WCost, 2), metrics.F(a.WCost, 2),
+			)
+		}
+	}
+	return t
+}
+
+// RunProtocol is a convenience used by several drivers: build an
+// engine on cfg's system, run the strategy to quiescence, return the
+// report.
+func RunProtocol(sys *System, init InitKind, strat core.Strategy, seed uint64) protocol.Report {
+	rng := stats.NewRNG(seed)
+	cfg := sys.InitialConfig(init, rng)
+	eng := sys.NewEngine(cfg)
+	return sys.NewRunner(eng, strat, true).Run()
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "col1", "longer-column")
+	tb.AddRow("a", "b")
+	tb.AddRow("value", "x")
+	out := tb.Render()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "col1") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start "a" / "value" padded to equal width.
+	if len(lines[3]) == 0 || len(lines[4]) == 0 {
+		t.Fatal("empty rows")
+	}
+}
+
+func TestTableRowValidation(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short row")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1,5", "2")
+	csv := tb.CSV()
+	want := "a,b\n1;5,2\n"
+	if csv != want {
+		t.Fatalf("CSV=%q want %q", csv, want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("costs", "round")
+	s.AddColumn("selfish")
+	s.AddColumn("altruistic")
+	s.AddPoint(0, 0.9, 0.8)
+	s.AddPoint(1, 0.5, 0.6)
+	if s.Len() != 2 {
+		t.Fatal("Len")
+	}
+	if got := s.Column("selfish"); len(got) != 2 || got[1] != 0.5 {
+		t.Fatalf("Column %v", got)
+	}
+	cols := s.Columns()
+	if len(cols) != 2 || cols[0] != "selfish" {
+		t.Fatalf("Columns %v", cols)
+	}
+	out := s.Render()
+	if !strings.Contains(out, "selfish") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(s.CSV(), "round,selfish,altruistic") {
+		t.Fatal("CSV header")
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	s := NewSeries("x", "t")
+	s.AddColumn("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on wrong arity")
+			}
+		}()
+		s.AddPoint(0, 1, 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on duplicate column")
+			}
+		}()
+		s.AddColumn("a")
+	}()
+}
+
+func TestSeriesPlot(t *testing.T) {
+	s := NewSeries("p", "x")
+	s.AddColumn("y")
+	for i := 0; i <= 10; i++ {
+		s.AddPoint(float64(i), float64(i*i))
+	}
+	plot := s.Plot(40, 10)
+	if !strings.Contains(plot, "*") || !strings.Contains(plot, "y") {
+		t.Fatalf("plot:\n%s", plot)
+	}
+	if s2 := NewSeries("e", "x"); s2.Plot(40, 10) != "" {
+		t.Fatal("empty series should not plot")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if I(42) != "42" {
+		t.Fatal("I")
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a figure-style data set: one x axis and several named y
+// columns (e.g. "selfish" and "altruistic").
+type Series struct {
+	Title  string
+	XLabel string
+	X      []float64
+	names  []string
+	ys     map[string][]float64
+}
+
+// NewSeries creates an empty series with the given title and x label.
+func NewSeries(title, xlabel string) *Series {
+	return &Series{Title: title, XLabel: xlabel, ys: map[string][]float64{}}
+}
+
+// AddColumn registers a named y column. Columns render in registration
+// order.
+func (s *Series) AddColumn(name string) {
+	if _, dup := s.ys[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate column %q", name))
+	}
+	s.names = append(s.names, name)
+	s.ys[name] = nil
+}
+
+// AddPoint appends an x value along with one y per registered column
+// (in registration order).
+func (s *Series) AddPoint(x float64, ys ...float64) {
+	if len(ys) != len(s.names) {
+		panic(fmt.Sprintf("metrics: point has %d ys, series %q has %d columns",
+			len(ys), s.Title, len(s.names)))
+	}
+	s.X = append(s.X, x)
+	for i, name := range s.names {
+		s.ys[name] = append(s.ys[name], ys[i])
+	}
+}
+
+// Column returns the y values of a column.
+func (s *Series) Column(name string) []float64 { return s.ys[name] }
+
+// Columns returns the column names in order.
+func (s *Series) Columns() []string { return append([]string(nil), s.names...) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Render returns the series as an aligned text table: x first, then
+// one column per name.
+func (s *Series) Render() string {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.names...)...)
+	for i, x := range s.X {
+		row := []string{F(x, 3)}
+		for _, name := range s.names {
+			row = append(row, F(s.ys[name][i], 4))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// CSV exports the series.
+func (s *Series) CSV() string {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.names...)...)
+	for i, x := range s.X {
+		row := []string{F(x, 4)}
+		for _, name := range s.names {
+			row = append(row, F(s.ys[name][i], 6))
+		}
+		t.AddRow(row...)
+	}
+	return t.CSV()
+}
+
+// Plot renders a crude ASCII chart of the series (one mark per column)
+// for quick visual inspection in the terminal; y is auto-scaled.
+func (s *Series) Plot(width, height int) string {
+	if len(s.X) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	minY, maxY := s.ys[s.names[0]][0], s.ys[s.names[0]][0]
+	for _, name := range s.names {
+		for _, y := range s.ys[name] {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@"
+	minX, maxX := s.X[0], s.X[len(s.X)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	for ci, name := range s.names {
+		mark := marks[ci%len(marks)]
+		for i, x := range s.X {
+			col := int(float64(width-1) * (x - minX) / (maxX - minX))
+			row := height - 1 - int(float64(height-1)*(s.ys[name][i]-minY)/(maxY-minY))
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: %.3f..%.3f)\n", s.Title, minY, maxY)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	for ci, name := range s.names {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[ci%len(marks)], name)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+// Package metrics renders the harness output: ASCII tables matching
+// the paper's tables and aligned numeric series matching its figures,
+// with CSV export for external plotting.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; it panics when the cell count does not match
+// the header count (catching driver bugs at the source).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, append([]string(nil), cells...))
+}
+
+// Render returns the table as aligned ASCII text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in comma-separated form (quotes are not needed
+// for our numeric content; commas in cells are replaced by semicolons).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,146 @@
+package peer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/stats"
+)
+
+func TestResultCountSingleAttr(t *testing.T) {
+	p := New(1)
+	p.SetItems([]attr.Set{
+		attr.NewSet(1, 2),
+		attr.NewSet(2, 3),
+		attr.NewSet(3),
+	})
+	cases := map[attr.ID]int{1: 1, 2: 2, 3: 2, 4: 0}
+	for id, want := range cases {
+		if got := p.ResultCount(attr.NewSet(id)); got != want {
+			t.Errorf("ResultCount({%d})=%d want %d", id, got, want)
+		}
+	}
+}
+
+func TestResultCountMultiAttrSubsetSemantics(t *testing.T) {
+	p := New(2)
+	p.SetItems([]attr.Set{
+		attr.NewSet(1, 2, 3),
+		attr.NewSet(1, 2),
+		attr.NewSet(2, 3),
+	})
+	if got := p.ResultCount(attr.NewSet(1, 2)); got != 2 {
+		t.Errorf("q={1,2}: %d want 2", got)
+	}
+	if got := p.ResultCount(attr.NewSet(2, 3)); got != 2 {
+		t.Errorf("q={2,3}: %d want 2", got)
+	}
+	if got := p.ResultCount(attr.NewSet(1, 2, 3)); got != 1 {
+		t.Errorf("q={1,2,3}: %d want 1", got)
+	}
+	if got := p.ResultCount(attr.NewSet(1, 4)); got != 0 {
+		t.Errorf("q={1,4}: %d want 0", got)
+	}
+}
+
+func TestEmptyQueryMatchesEverything(t *testing.T) {
+	p := New(3)
+	p.SetItems([]attr.Set{attr.NewSet(1), attr.NewSet(2)})
+	if got := p.ResultCount(attr.Set{}); got != 2 {
+		t.Errorf("empty query: %d want 2", got)
+	}
+}
+
+func TestResultCountMatchesBruteForce(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := New(0)
+		items := make([]attr.Set, 1+rng.Intn(8))
+		for i := range items {
+			ids := make([]attr.ID, 1+rng.Intn(4))
+			for j := range ids {
+				ids[j] = attr.ID(rng.Intn(6))
+			}
+			items[i] = attr.NewSet(ids...)
+		}
+		p.SetItems(items)
+		qids := make([]attr.ID, 1+rng.Intn(3))
+		for j := range qids {
+			qids[j] = attr.ID(rng.Intn(6))
+		}
+		q := attr.NewSet(qids...)
+		want := 0
+		for _, it := range items {
+			if q.SubsetOf(it) {
+				want++
+			}
+		}
+		// Twice: second hit exercises the memo cache.
+		return p.ResultCount(q) == want && p.ResultCount(q) == want
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentMutationInvalidatesCaches(t *testing.T) {
+	p := New(4)
+	p.SetItems([]attr.Set{attr.NewSet(1, 2)})
+	q := attr.NewSet(1, 2)
+	if p.ResultCount(q) != 1 {
+		t.Fatal("setup")
+	}
+	v := p.Version()
+	p.ReplaceItem(0, attr.NewSet(3))
+	if p.Version() == v {
+		t.Fatal("version did not bump")
+	}
+	if got := p.ResultCount(q); got != 0 {
+		t.Fatalf("stale cache: %d", got)
+	}
+	p.AddItem(attr.NewSet(1, 2, 3))
+	if got := p.ResultCount(q); got != 1 {
+		t.Fatalf("after AddItem: %d", got)
+	}
+}
+
+func TestReplaceItemPanicsOutOfRange(t *testing.T) {
+	p := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.ReplaceItem(0, attr.NewSet(1))
+}
+
+func TestItemsReturnsCopy(t *testing.T) {
+	p := New(6)
+	p.SetItems([]attr.Set{attr.NewSet(1)})
+	items := p.Items()
+	items[0] = attr.NewSet(9)
+	if p.ResultCount(attr.NewSet(1)) != 1 {
+		t.Fatal("Items exposed internal state")
+	}
+}
+
+func TestAttrFrequencies(t *testing.T) {
+	p := New(7)
+	p.SetItems([]attr.Set{attr.NewSet(1, 2), attr.NewSet(2), attr.NewSet(2, 3)})
+	f := p.AttrFrequencies()
+	if f[1] != 1 || f[2] != 3 || f[3] != 1 {
+		t.Fatalf("frequencies: %v", f)
+	}
+}
+
+func TestIDAndNumItems(t *testing.T) {
+	p := New(42)
+	if p.ID() != 42 || p.NumItems() != 0 {
+		t.Fatal("basic accessors")
+	}
+	p.AddItem(attr.NewSet(1))
+	if p.NumItems() != 1 {
+		t.Fatal("NumItems after add")
+	}
+}

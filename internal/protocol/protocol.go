@@ -1,0 +1,278 @@
+// Package protocol implements the paper's cluster reformulation
+// protocol (§3.2). The protocol runs in rounds of two phases. In phase
+// one, every peer evaluates its gain factor under its relocation
+// strategy and reports it to its cluster representative; each
+// representative forwards the single highest-gain relocation request of
+// its cluster to all other representatives (clusters with no request
+// still announce their cid). In phase two, every representative sorts
+// the collected requests by decreasing gain and serves them under the
+// cycle-avoiding lock rule: granting a move c_i -> c_j locks c_i with
+// direction "leave" and c_j with direction "join" — for the rest of the
+// round no peer may join c_i or leave c_j. A request is issued only
+// when its gain exceeds the threshold ε (the stop condition), and the
+// protocol ends when no representative receives a relocation request.
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Request is a relocation request exchanged between representatives.
+type Request struct {
+	// Peer is the relocating peer; From its cluster; To the target
+	// (filled at grant time for NewCluster requests).
+	Peer     int
+	From, To cluster.CID
+	// Gain is the strategy gain the request is sorted by.
+	Gain float64
+	// NewCluster marks a request for an empty cluster slot.
+	NewCluster bool
+}
+
+// RoundReport captures one protocol round.
+type RoundReport struct {
+	// Round is the 1-based round number.
+	Round int
+	// Requests is the number of relocation requests issued (at most
+	// one per non-empty cluster).
+	Requests int
+	// Granted is the number of requests served after lock filtering.
+	Granted int
+	// Moves lists the granted relocations in service order.
+	Moves []Request
+	// SCost and WCost are the normalized global costs after the round.
+	SCost, WCost float64
+	// Messages is the number of protocol messages exchanged this round
+	// (gain reports, request broadcasts, grant coordination).
+	Messages int
+}
+
+// Report summarizes a full protocol run.
+type Report struct {
+	// Rounds holds one entry per executed round.
+	Rounds []RoundReport
+	// Converged is true when the run stopped because no requests were
+	// issued (as opposed to hitting MaxRounds).
+	Converged bool
+	// RoundsRun is len(Rounds).
+	RoundsRun int
+	// Messages is the total message count.
+	Messages int
+	// InitialSCost/InitialWCost are the normalized costs before round 1.
+	InitialSCost, InitialWCost float64
+	// FinalSCost/FinalWCost are the normalized costs at termination.
+	FinalSCost, FinalWCost float64
+	// FinalClusters is the number of non-empty clusters at termination.
+	FinalClusters int
+}
+
+// Options configure a Runner.
+type Options struct {
+	// Epsilon is the gain threshold ε below which no request is issued
+	// (the paper's stop condition; its experiments use 0.001).
+	Epsilon float64
+	// MaxRounds caps the run for configurations that never converge
+	// (the paper's uniform scenario).
+	MaxRounds int
+	// AllowNewClusters enables the empty-cluster creation rule of
+	// §3.2. The update experiments of §4.2 keep the cluster count
+	// fixed and disable it.
+	AllowNewClusters bool
+}
+
+// DefaultOptions mirror the paper's experimental setting.
+func DefaultOptions() Options {
+	return Options{Epsilon: 0.001, MaxRounds: 300, AllowNewClusters: true}
+}
+
+// Runner drives the reformulation protocol over a core engine.
+type Runner struct {
+	eng      *core.Engine
+	strategy core.Strategy
+	opts     Options
+
+	// baseline records each peer's individual cost at the start of the
+	// period; the drift rule for new-cluster creation compares against
+	// it.
+	baseline []float64
+}
+
+// NewRunner creates a protocol runner. Options zero values are replaced
+// by defaults.
+func NewRunner(eng *core.Engine, strategy core.Strategy, opts Options) *Runner {
+	if opts.Epsilon < 0 {
+		panic(fmt.Sprintf("protocol: negative epsilon %g", opts.Epsilon))
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultOptions().MaxRounds
+	}
+	return &Runner{eng: eng, strategy: strategy, opts: opts}
+}
+
+// Engine returns the underlying engine.
+func (r *Runner) Engine() *core.Engine { return r.eng }
+
+// BeginPeriod snapshots every peer's individual cost as the baseline
+// the new-cluster drift rule compares against. Run calls it
+// automatically; call it manually when interleaving workload updates
+// with single rounds.
+func (r *Runner) BeginPeriod() {
+	n := r.eng.NumPeers()
+	r.baseline = make([]float64, n)
+	cfg := r.eng.Config()
+	for p := 0; p < n; p++ {
+		r.baseline[p] = r.eng.PeerCost(p, cfg.ClusterOf(p))
+	}
+}
+
+// locks tracks the per-round lock rule state.
+type locks struct {
+	joinLocked  map[cluster.CID]bool // no more joins allowed
+	leaveLocked map[cluster.CID]bool // no more leaves allowed
+}
+
+func newLocks() *locks {
+	return &locks{joinLocked: map[cluster.CID]bool{}, leaveLocked: map[cluster.CID]bool{}}
+}
+
+// allows reports whether a move from->to violates the lock rule.
+func (l *locks) allows(from, to cluster.CID) bool {
+	return !l.leaveLocked[from] && !l.joinLocked[to]
+}
+
+// grant records the locks induced by serving a move from->to: no more
+// joins to `from` (direction leave) and no more leaves from `to`
+// (direction join).
+func (l *locks) grant(from, to cluster.CID) {
+	l.joinLocked[from] = true
+	l.leaveLocked[to] = true
+}
+
+// RunRound executes one two-phase round and returns its report.
+func (r *Runner) RunRound(round int) RoundReport {
+	if r.baseline == nil {
+		r.BeginPeriod()
+	}
+	rep := RoundReport{Round: round}
+	cfg := r.eng.Config()
+
+	// Phase 1: gather at most one request per non-empty cluster.
+	nonEmpty := cfg.NonEmpty()
+	var requests []Request
+	for _, c := range nonEmpty {
+		members := cfg.Members(c)
+		// Each member reports its gain to the representative: one
+		// message per non-representative member.
+		rep.Messages += len(members) - 1
+		best := Request{Gain: math.Inf(-1)}
+		for _, p := range members {
+			baseline := math.NaN()
+			if r.baseline != nil {
+				baseline = r.baseline[p]
+			}
+			d := r.strategy.Decide(r.eng, p, baseline, r.opts.AllowNewClusters)
+			if !d.Move || d.Gain <= r.opts.Epsilon {
+				continue
+			}
+			if d.Gain > best.Gain || (d.Gain == best.Gain && d.Peer < best.Peer) {
+				best = Request{Peer: d.Peer, From: d.From, To: d.To, Gain: d.Gain, NewCluster: d.NewCluster}
+			}
+		}
+		if !math.IsInf(best.Gain, -1) {
+			requests = append(requests, best)
+		}
+	}
+	// Every representative broadcasts to all others — either its
+	// cluster's request or a bare cid message.
+	if len(nonEmpty) > 1 {
+		rep.Messages += len(nonEmpty) * (len(nonEmpty) - 1)
+	}
+	rep.Requests = len(requests)
+
+	// Phase 2: serve requests in decreasing gain order under the lock
+	// rule. Ties break by peer ID for determinism.
+	sort.Slice(requests, func(i, j int) bool {
+		if requests[i].Gain != requests[j].Gain {
+			return requests[i].Gain > requests[j].Gain
+		}
+		return requests[i].Peer < requests[j].Peer
+	})
+	lk := newLocks()
+	for _, req := range requests {
+		to := req.To
+		if req.NewCluster {
+			slot, ok := cfg.EmptyCluster()
+			if !ok {
+				continue // Cmax reached; drop the request this round
+			}
+			to = slot
+		}
+		if !lk.allows(req.From, to) {
+			continue
+		}
+		// The two involved representatives coordinate the move.
+		rep.Messages += 2
+		r.eng.Move(req.Peer, to)
+		lk.grant(req.From, to)
+		req.To = to
+		rep.Moves = append(rep.Moves, req)
+	}
+	rep.Granted = len(rep.Moves)
+	rep.SCost = r.eng.SCostNormalized()
+	rep.WCost = r.eng.WCostNormalized()
+	return rep
+}
+
+// Run executes rounds until no relocation requests are issued or
+// MaxRounds is reached, starting a fresh period baseline.
+func (r *Runner) Run() Report {
+	r.BeginPeriod()
+	rpt := Report{
+		InitialSCost: r.eng.SCostNormalized(),
+		InitialWCost: r.eng.WCostNormalized(),
+	}
+	for round := 1; round <= r.opts.MaxRounds; round++ {
+		rr := r.RunRound(round)
+		rpt.Rounds = append(rpt.Rounds, rr)
+		rpt.Messages += rr.Messages
+		if rr.Requests == 0 {
+			rpt.Converged = true
+			break
+		}
+	}
+	rpt.RoundsRun = len(rpt.Rounds)
+	rpt.FinalSCost = r.eng.SCostNormalized()
+	rpt.FinalWCost = r.eng.WCostNormalized()
+	rpt.FinalClusters = r.eng.Config().NumNonEmpty()
+	return rpt
+}
+
+// EffectiveRounds is the number of rounds in which the protocol did
+// work: the final quiescent round that merely detects convergence is
+// not counted (it is what Table 1's "# rounds" measures).
+func (rpt Report) EffectiveRounds() int {
+	if rpt.Converged && rpt.RoundsRun > 0 {
+		return rpt.RoundsRun - 1
+	}
+	return rpt.RoundsRun
+}
+
+// CostTrajectory extracts the per-round normalized social and workload
+// costs (prepending the initial values as round 0) — the series of
+// Fig. 1.
+func (rpt Report) CostTrajectory() (rounds []int, scost, wcost []float64) {
+	rounds = append(rounds, 0)
+	scost = append(scost, rpt.InitialSCost)
+	wcost = append(wcost, rpt.InitialWCost)
+	for _, rr := range rpt.Rounds {
+		rounds = append(rounds, rr.Round)
+		scost = append(scost, rr.SCost)
+		wcost = append(wcost, rr.WCost)
+	}
+	return rounds, scost, wcost
+}

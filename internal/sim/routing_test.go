@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbeBudgetReducesMessages(t *testing.T) {
+	sys, cfg := smallSystem(t)
+
+	flood := New(sys.peers, sys.wl, cfg.Clone(), Options{
+		Alpha: 1, Theta: sys.theta, Epsilon: sys.epsilon, MaxRounds: 10,
+		Strategy: Selfish,
+	})
+	flood.QueryPhase()
+
+	probed := New(sys.peers, sys.wl, cfg.Clone(), Options{
+		Alpha: 1, Theta: sys.theta, Epsilon: sys.epsilon, MaxRounds: 10,
+		Strategy: Selfish, ProbeClusters: 1, ProbeSeed: 9,
+	})
+	probed.QueryPhase()
+
+	if probed.Messages() >= flood.Messages() {
+		t.Fatalf("probe budget did not reduce messages: %d >= %d",
+			probed.Messages(), flood.Messages())
+	}
+}
+
+func TestProbeBudgetEstimatesAreConservative(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	exact := sys.engine(cfg.Clone())
+
+	s := New(sys.peers, sys.wl, cfg, Options{
+		Alpha: 1, Theta: sys.theta, Epsilon: sys.epsilon, MaxRounds: 10,
+		Strategy: Selfish, ProbeClusters: 2, ProbeSeed: 3,
+	})
+	s.QueryPhase()
+
+	// Partial observation changes estimates but never yields NaN or
+	// negative costs.
+	var worst float64
+	for pid := 0; pid < sys.n; pid++ {
+		for _, c := range cfg.NonEmpty() {
+			est := s.EstimatedPeerCost(pid, c)
+			if math.IsNaN(est) || est < 0 {
+				t.Fatalf("peer %d cluster %d: estimate %g", pid, c, est)
+			}
+			if d := math.Abs(est - exact.PeerCost(pid, c)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst == 0 {
+		t.Fatal("probe budget 2 of 5 clusters produced exact estimates — budget not applied?")
+	}
+}
+
+func TestProbePeriodStillTerminates(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	s := New(sys.peers, sys.wl, cfg, Options{
+		Alpha: 1, Theta: sys.theta, Epsilon: sys.epsilon, MaxRounds: 40,
+		Strategy: Selfish, ProbeClusters: 2, ProbeSeed: 11,
+	})
+	rpt := s.RunPeriod()
+	if rpt.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if err := s.Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

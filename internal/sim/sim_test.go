@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// testSystem bundles a small, cleanly clusterable instance: 5
+// categories of 6 peers, each holding items over its category's
+// attribute range and querying attributes of that range. (Very small
+// random instances can oscillate forever — a legitimate outcome of the
+// selfish game; convergence tests need a well-separated one.)
+type testSystem struct {
+	peers   []*peer.Peer
+	wl      *workload.Workload
+	n       int
+	epsilon float64
+	theta   cluster.Theta
+}
+
+func smallSystem(t testing.TB) (*testSystem, *cluster.Config) {
+	t.Helper()
+	const (
+		categories = 5
+		perGroup   = 6
+		attrsEach  = 6
+	)
+	n := categories * perGroup
+	rng := stats.NewRNG(99)
+	peers := make([]*peer.Peer, n)
+	wl := workload.New(n)
+	for i := 0; i < n; i++ {
+		cat := i % categories
+		base := attr.ID(cat * attrsEach)
+		p := peer.New(i)
+		items := make([]attr.Set, 3)
+		for d := range items {
+			items[d] = attr.NewSet(base+attr.ID(rng.Intn(attrsEach)), base+attr.ID(rng.Intn(attrsEach)))
+		}
+		p.SetItems(items)
+		peers[i] = p
+		for q := 0; q < 2; q++ {
+			wl.Add(i, attr.NewSet(base+attr.ID(rng.Intn(attrsEach))), 1+rng.Intn(4))
+		}
+	}
+	// Random m = categories initial clustering.
+	assign := make([]cluster.CID, n)
+	for i := range assign {
+		assign[i] = cluster.CID(rng.Intn(categories))
+	}
+	sys := &testSystem{peers: peers, wl: wl, n: n, epsilon: 0.001, theta: cluster.LinearTheta()}
+	return sys, cluster.FromAssignment(assign)
+}
+
+func (ts *testSystem) engine(cfg *cluster.Config) *core.Engine {
+	return core.New(ts.peers, ts.wl, cfg, ts.theta, 1)
+}
+
+func newSim(ts *testSystem, cfg *cluster.Config, strat Strategy) *Sim {
+	return New(ts.peers, ts.wl, cfg, Options{
+		Alpha: 1, Theta: ts.theta, Epsilon: ts.epsilon,
+		MaxRounds: 50, Strategy: strat,
+	})
+}
+
+func TestEstimatedCostsMatchExactEngine(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	eng := sys.engine(cfg.Clone())
+	s := newSim(sys, cfg, Selfish)
+	s.QueryPhase()
+	for pid := 0; pid < sys.n; pid++ {
+		for _, c := range cfg.NonEmpty() {
+			got := s.EstimatedPeerCost(pid, c)
+			want := eng.PeerCost(pid, c)
+			if !within(got, want, 1e-9) {
+				t.Fatalf("peer %d cluster %d: estimated %g exact %g", pid, c, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimatedContributionMatchesExactEngine(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	eng := sys.engine(cfg.Clone())
+	s := newSim(sys, cfg, Altruistic)
+	s.QueryPhase()
+	for pid := 0; pid < sys.n; pid++ {
+		for _, c := range cfg.NonEmpty() {
+			got := s.EstimatedContribution(pid, c)
+			want := eng.Contribution(pid, c)
+			if !within(got, want, 1e-9) {
+				t.Fatalf("peer %d cluster %d: estimated %g exact %g", pid, c, got, want)
+			}
+		}
+	}
+}
+
+func TestActorRoundMatchesProtocolRound(t *testing.T) {
+	sys, cfg := smallSystem(t)
+
+	// Deterministic protocol on a clone.
+	eng := sys.engine(cfg.Clone())
+	runner := protocol.NewRunner(eng, core.NewSelfish(), protocol.Options{
+		Epsilon: sys.epsilon, MaxRounds: 50, AllowNewClusters: false,
+	})
+	runner.BeginPeriod()
+	rr := runner.RunRound(1)
+
+	// Actor system over the original.
+	s := newSim(sys, cfg, Selfish)
+	s.QueryPhase()
+	ar := s.ReformulationRound()
+
+	if ar.Granted != rr.Granted {
+		t.Fatalf("actor granted %d, protocol granted %d", ar.Granted, rr.Granted)
+	}
+	// The resulting partitions must be identical (same assignment, as
+	// both use the same deterministic tie-breaking).
+	for p := 0; p < sys.n; p++ {
+		if s.Config().ClusterOf(p) != eng.Config().ClusterOf(p) {
+			t.Fatalf("peer %d: actor cluster %d, protocol cluster %d",
+				p, s.Config().ClusterOf(p), eng.Config().ClusterOf(p))
+		}
+	}
+}
+
+func TestRunPeriodConvergesAndCounts(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	s := newSim(sys, cfg, Selfish)
+	rpt := s.RunPeriod()
+	if !rpt.Converged {
+		t.Fatalf("period did not converge: %+v", rpt)
+	}
+	if rpt.Messages <= 0 || s.Messages() != rpt.Messages {
+		t.Fatalf("message accounting: period=%d total=%d", rpt.Messages, s.Messages())
+	}
+	// The reached configuration must be protocol-stable: one more
+	// round requests nothing.
+	s.QueryPhase()
+	if rr := s.ReformulationRound(); rr.Requests != 0 {
+		t.Fatalf("post-convergence round issued %d requests", rr.Requests)
+	}
+}
+
+func TestAltruisticPeriodRuns(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	s := newSim(sys, cfg, Altruistic)
+	rpt := s.RunPeriod()
+	if rpt.Rounds == 0 {
+		t.Fatal("no rounds executed")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() ([]cluster.CID, int64) {
+		sys, cfg := smallSystem(t)
+		s := newSim(sys, cfg, Selfish)
+		s.RunPeriod()
+		return s.Config().Assignment(), s.Messages()
+	}
+	a1, m1 := run()
+	a2, m2 := run()
+	if m1 != m2 {
+		t.Fatalf("message counts differ: %d vs %d", m1, m2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("assignments differ at peer %d", i)
+		}
+	}
+}
+
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+want)
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestRNGIntnRangeAndCoverage(t *testing.T) {
+	r := NewRNG(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never drawn in 10000 tries", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := NewRNG(13)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Fatalf("weight-7 frequency %g, want ~0.7", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(17)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestZipfWeightsNormalizedAndMonotone(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		w := ZipfWeights(100, s)
+		var sum float64
+		for i, wi := range w {
+			sum += wi
+			if i > 0 && wi > w[i-1]+1e-15 {
+				t.Fatalf("s=%g: weights not monotone at %d", s, i)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%g: weights sum to %g", s, sum)
+		}
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	w := ZipfWeights(10, 0)
+	for _, wi := range w {
+		if math.Abs(wi-0.1) > 1e-12 {
+			t.Fatalf("s=0 weight %g, want 0.1", wi)
+		}
+	}
+}
+
+func TestZipfSamplerMatchesWeights(t *testing.T) {
+	z := NewZipf(20, 1)
+	r := NewRNG(19)
+	counts := make([]int, 20)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for rank := 0; rank < 20; rank++ {
+		got := float64(counts[rank]) / draws
+		want := z.Prob(rank)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: frequency %g, probability %g", rank, got, want)
+		}
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z := NewZipf(5, 1)
+	if z.Prob(-1) != 0 || z.Prob(5) != 0 {
+		t.Fatal("out-of-range Prob must be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %g", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0=%g", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1=%g", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2.5 {
+		t.Fatalf("median=%g", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileWithinBounds(t *testing.T) {
+	err := quick.Check(func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw%101) / 100
+		v := Quantile(xs, q)
+		s := Summarize(xs)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramClampsAndCounts(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, 0, 3, 9.9, 42} {
+		h.Observe(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Buckets[0] != 2 { // -5 clamped + 0
+		t.Fatalf("first bucket %d", h.Buckets[0])
+	}
+	if h.Buckets[4] != 2 { // 9.9 + 42 clamped
+		t.Fatalf("last bucket %d", h.Buckets[4])
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(23)
+	var sum, ss float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		ss += x * x
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean %g", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance %g", variance)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. The paper uses Zipf distributions both for term
+// frequencies inside a category vocabulary and for assigning query
+// demand across peers ("some peers are more demanding than others").
+type Zipf struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics on
+// n <= 0 or s < 0; s == 0 degenerates to the uniform distribution.
+func NewZipf(n int, s float64) *Zipf {
+	w := ZipfWeights(n, s)
+	cdf := make([]float64, n)
+	var acc float64
+	for i, wi := range w {
+		acc += wi
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1 // guard against floating point drift
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(r *RNG) int {
+	x := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// ZipfWeights returns n normalized weights with weight(i) ∝ 1/(i+1)^s.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: ZipfWeights with n=%d", n))
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("stats: ZipfWeights with s=%g < 0", s))
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

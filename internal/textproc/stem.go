@@ -1,0 +1,60 @@
+package textproc
+
+import "strings"
+
+// Stem normalizes common English inflections with a light
+// suffix-stripping stemmer (a compact approximation of the
+// lemmatization step in the paper's preprocessing). It intentionally
+// errs on the conservative side: a wrong merge between two distinct
+// topical words is worse for clustering than a missed merge.
+//
+// Rules, applied in order, first match wins:
+//
+//	sses -> ss  (classes -> class)
+//	ies  -> y   (queries -> query)
+//	s    -> ""  (peers -> peer; "ss"/"us"/"is" endings are kept)
+//	ing  -> ""  (running -> run via undoubling; caching -> cach)
+//	ed   -> ""  (clustered -> cluster)
+//	ly   -> ""  (quickly -> quick)
+func Stem(w string) string {
+	n := len(w)
+	switch {
+	case n > 4 && strings.HasSuffix(w, "sses"):
+		return w[:n-2]
+	case n > 4 && strings.HasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 3 && strings.HasSuffix(w, "ss"):
+		return w
+	case n > 3 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		return w[:n-1]
+	case n > 5 && strings.HasSuffix(w, "ing"):
+		stem := w[:n-3]
+		return undouble(stem)
+	case n > 4 && strings.HasSuffix(w, "ed"):
+		stem := w[:n-2]
+		return undouble(stem)
+	case n > 4 && strings.HasSuffix(w, "ly"):
+		return w[:n-2]
+	}
+	return w
+}
+
+// undouble collapses a doubled final consonant left by -ing/-ed
+// stripping (running -> runn -> run) but keeps legitimate doubles that
+// end in l/s/z rarely matter at this fidelity; we collapse all doubles
+// except "ss".
+func undouble(w string) string {
+	n := len(w)
+	if n >= 2 && w[n-1] == w[n-2] && !isVowel(w[n-1]) && w[n-1] != 's' {
+		return w[:n-1]
+	}
+	return w
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package textproc
+
+// stopwords is a standard English stop-word list of the kind used by IR
+// preprocessing pipelines. The paper removes stop words from article
+// texts before clustering.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range stopwordList {
+		stopwords[w] = true
+	}
+}
+
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am",
+	"an", "and", "any", "are", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "did", "do", "does", "doing", "down", "during",
+	"each", "few", "for", "from", "further", "had", "has", "have",
+	"having", "he", "her", "here", "hers", "herself", "him", "himself",
+	"his", "how", "if", "in", "into", "is", "it", "its", "itself",
+	"just", "me", "more", "most", "my", "myself", "no", "nor", "not",
+	"now", "of", "off", "on", "once", "only", "or", "other", "our",
+	"ours", "ourselves", "out", "over", "own", "same", "she", "should",
+	"so", "some", "such", "than", "that", "the", "their", "theirs",
+	"them", "themselves", "then", "there", "these", "they", "this",
+	"those", "through", "to", "too", "under", "until", "up", "very",
+	"was", "we", "were", "what", "when", "where", "which", "while",
+	"who", "whom", "why", "will", "with", "you", "your", "yours",
+	"yourself", "yourselves",
+}
+
+// IsStopword reports whether w (already lowercased) is a stop word.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// StopwordCount returns the size of the built-in list (useful for the
+// corpus generator, which salts documents with stop words to exercise
+// the pipeline).
+func StopwordCount() int { return len(stopwordList) }
+
+// StopwordAt returns the i-th stop word of the built-in list.
+func StopwordAt(i int) string { return stopwordList[i%len(stopwordList)] }

@@ -1,0 +1,112 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"peer-to-peer systems", []string{"peer", "to", "peer", "systems"}},
+		{"  a b  ", []string{}}, // single-char tokens dropped
+		{"κλυστερ overlay", []string{"κλυστερ", "overlay"}},
+		{"x1y2 42", []string{"x1y2", "42"}},
+		{"", []string{}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is", "yourselves"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"cluster", "peer", "recall"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+	if StopwordCount() < 100 {
+		t.Errorf("suspiciously small stop word list: %d", StopwordCount())
+	}
+	if StopwordAt(0) == "" || StopwordAt(StopwordCount()+3) == "" {
+		t.Error("StopwordAt returned empty")
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"classes":   "class",
+		"queries":   "query",
+		"peers":     "peer",
+		"class":     "class", // keep ss
+		"running":   "run",   // undouble
+		"caching":   "cach",
+		"clustered": "cluster",
+		"quickly":   "quick",
+		"gas":       "gas",      // too short for the s rule (n = 3)
+		"bus":       "bus",      // -us protected
+		"analysis":  "analysis", // -is protected
+		"cat":       "cat",
+		"moved":     "mov",
+		"recall":    "recall",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonForms(t *testing.T) {
+	for _, w := range []string{"cluster", "peer", "recall", "overlay", "network"} {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not idempotent on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestProcessPipeline(t *testing.T) {
+	got := Process("The peers are clustering their queries, and the clusters improved!")
+	want := []string{"peer", "cluster", "query", "cluster", "improv"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process=%v want %v", got, want)
+	}
+}
+
+func TestTermFrequenciesAndSorting(t *testing.T) {
+	tf := TermFrequencies([]string{"b", "a", "b", "c", "b", "a"})
+	if tf["b"] != 3 || tf["a"] != 2 || tf["c"] != 1 {
+		t.Fatalf("tf=%v", tf)
+	}
+	sorted := SortByFrequency(tf)
+	if sorted[0].Term != "b" || sorted[1].Term != "a" || sorted[2].Term != "c" {
+		t.Fatalf("sorted=%v", sorted)
+	}
+	// Ties break lexicographically for determinism.
+	tie := SortByFrequency(map[string]int{"z": 2, "m": 2, "a": 2})
+	if tie[0].Term != "a" || tie[1].Term != "m" || tie[2].Term != "z" {
+		t.Fatalf("tie order=%v", tie)
+	}
+}
+
+func TestUniqueTerms(t *testing.T) {
+	got := UniqueTerms("peer peer peers cluster the of")
+	if len(got) != 2 || got[0] != "peer" || got[1] != "cluster" {
+		t.Fatalf("UniqueTerms=%v", got)
+	}
+}

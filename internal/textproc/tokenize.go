@@ -1,0 +1,38 @@
+// Package textproc implements the text preprocessing pipeline the paper
+// applies to its Newsgroup articles before clustering (§4): texts are
+// tokenized, stop words are removed, a lemmatization step normalizes
+// morphological variants (approximated here with a light suffix-stripping
+// stemmer), and the resulting words are sorted by frequency of
+// appearance.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into maximal runs of letters
+// and digits. Punctuation and other symbols act as separators. Tokens
+// shorter than two characters are dropped (they carry no topical
+// signal and the paper's stop-word pass would remove most of them
+// anyway).
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= 2 {
+			out = append(out, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,195 @@
+// Package workload models the paper's query workload: the global list
+// Q of all queries in the system (a multiset — a query may appear many
+// times) and each peer's local workload Q(p_i), the queries that peer
+// issued. The cost model weighs queries by num(q,Q(p))/num(Q(p))
+// locally and num(q,Q)/num(Q) globally (§2).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attr"
+)
+
+// QID is a dense identifier for a distinct query.
+type QID int32
+
+// Entry pairs a query with its multiplicity in some workload.
+type Entry struct {
+	Q     QID
+	Count int
+}
+
+// Workload stores the global query list and the per-peer local
+// workloads. Queries are deduplicated; multiplicities are tracked per
+// peer and globally. The zero value is unusable; call New.
+type Workload struct {
+	numPeers int
+
+	queries []attr.Set
+	keys    map[string]QID
+
+	global  []int     // num(q,Q) per QID
+	perPeer [][]Entry // peer -> sorted-by-QID entries with Count > 0
+	peerTot []int     // num(Q(p)) per peer
+	total   int       // num(Q)
+	version int
+}
+
+// New creates an empty workload over numPeers peers.
+func New(numPeers int) *Workload {
+	return &Workload{
+		numPeers: numPeers,
+		keys:     make(map[string]QID),
+		perPeer:  make([][]Entry, numPeers),
+		peerTot:  make([]int, numPeers),
+	}
+}
+
+// NumPeers returns the number of peers the workload spans.
+func (w *Workload) NumPeers() int { return w.numPeers }
+
+// Version increments on every mutation.
+func (w *Workload) Version() int { return w.version }
+
+// Intern registers q and returns its QID, reusing an existing ID for an
+// equal query.
+func (w *Workload) Intern(q attr.Set) QID {
+	key := q.Key()
+	if id, ok := w.keys[key]; ok {
+		return id
+	}
+	id := QID(len(w.queries))
+	w.keys[key] = id
+	w.queries = append(w.queries, q)
+	w.global = append(w.global, 0)
+	return id
+}
+
+// Query returns the attribute set of qid.
+func (w *Workload) Query(qid QID) attr.Set { return w.queries[qid] }
+
+// NumQueries returns the number of distinct queries.
+func (w *Workload) NumQueries() int { return len(w.queries) }
+
+// Add records count occurrences of query q issued by peer p.
+func (w *Workload) Add(p int, q attr.Set, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("workload: Add count=%d", count))
+	}
+	w.addQID(p, w.Intern(q), count)
+}
+
+func (w *Workload) addQID(p int, qid QID, count int) {
+	if p < 0 || p >= w.numPeers {
+		panic(fmt.Sprintf("workload: peer %d out of range [0,%d)", p, w.numPeers))
+	}
+	entries := w.perPeer[p]
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Q >= qid })
+	if i < len(entries) && entries[i].Q == qid {
+		entries[i].Count += count
+	} else {
+		entries = append(entries, Entry{})
+		copy(entries[i+1:], entries[i:])
+		entries[i] = Entry{Q: qid, Count: count}
+		w.perPeer[p] = entries
+	}
+	w.global[qid] += count
+	w.peerTot[p] += count
+	w.total += count
+	w.version++
+}
+
+// Peer returns peer p's local workload entries (sorted by QID). The
+// returned slice is shared; callers must not modify it.
+func (w *Workload) Peer(p int) []Entry { return w.perPeer[p] }
+
+// PeerTotal returns num(Q(p)).
+func (w *Workload) PeerTotal(p int) int { return w.peerTot[p] }
+
+// GlobalCount returns num(q,Q).
+func (w *Workload) GlobalCount(qid QID) int { return w.global[qid] }
+
+// Total returns num(Q).
+func (w *Workload) Total() int { return w.total }
+
+// ClearPeer removes peer p's entire local workload.
+func (w *Workload) ClearPeer(p int) {
+	for _, e := range w.perPeer[p] {
+		w.global[e.Q] -= e.Count
+		w.total -= e.Count
+	}
+	w.perPeer[p] = nil
+	w.peerTot[p] = 0
+	w.version++
+}
+
+// ReplacePeer substitutes peer p's local workload with entries
+// (attr sets with counts).
+func (w *Workload) ReplacePeer(p int, queries []attr.Set, counts []int) {
+	if len(queries) != len(counts) {
+		panic("workload: ReplacePeer length mismatch")
+	}
+	w.ClearPeer(p)
+	for i, q := range queries {
+		w.Add(p, q, counts[i])
+	}
+}
+
+// Clone deep-copies the workload; used by experiments that perturb a
+// shared baseline.
+func (w *Workload) Clone() *Workload {
+	cp := &Workload{
+		numPeers: w.numPeers,
+		queries:  append([]attr.Set(nil), w.queries...),
+		keys:     make(map[string]QID, len(w.keys)),
+		global:   append([]int(nil), w.global...),
+		perPeer:  make([][]Entry, len(w.perPeer)),
+		peerTot:  append([]int(nil), w.peerTot...),
+		total:    w.total,
+		version:  w.version,
+	}
+	for k, v := range w.keys {
+		cp.keys[k] = v
+	}
+	for i, es := range w.perPeer {
+		cp.perPeer[i] = append([]Entry(nil), es...)
+	}
+	return cp
+}
+
+// Validate checks internal consistency (global counts equal the sums of
+// per-peer counts); it is used by property tests.
+func (w *Workload) Validate() error {
+	glob := make([]int, len(w.queries))
+	total := 0
+	for p, es := range w.perPeer {
+		sum := 0
+		last := QID(-1)
+		for _, e := range es {
+			if e.Q <= last {
+				return fmt.Errorf("peer %d entries not strictly sorted", p)
+			}
+			last = e.Q
+			if e.Count <= 0 {
+				return fmt.Errorf("peer %d query %d non-positive count", p, e.Q)
+			}
+			glob[e.Q] += e.Count
+			sum += e.Count
+		}
+		if sum != w.peerTot[p] {
+			return fmt.Errorf("peer %d total %d != recorded %d", p, sum, w.peerTot[p])
+		}
+		total += sum
+	}
+	for q := range glob {
+		if glob[q] != w.global[q] {
+			return fmt.Errorf("query %d global %d != recorded %d", q, glob[q], w.global[q])
+		}
+	}
+	if total != w.total {
+		return fmt.Errorf("total %d != recorded %d", total, w.total)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package reform is the public API of the reproduction of
+// "Recall-Based Cluster Reformulation by Selfish Peers" (Koloniari &
+// Pitoura, ICDE Workshops 2008).
+//
+// It wires together the synthetic corpus, the peer/workload model, the
+// recall-based cost engine and the periodic reformulation protocol
+// behind a single System type:
+//
+//	sys := reform.New(reform.Options{})        // paper defaults
+//	report := sys.Run()                        // reformulate to quiescence
+//	fmt.Println(report.FinalSCost, sys.ClusterSizes())
+//
+// The internal packages expose every building block (cost engine,
+// strategies, Nash analysis, protocol, actor simulation, baselines,
+// experiment drivers); this package covers the common paths an
+// application needs: building a system, maintaining its clustered
+// overlay under workload/content drift, and inspecting its quality.
+package reform
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Scenario selects the data/query distribution (§4.1 of the paper).
+type Scenario = experiments.Scenario
+
+// Scenarios of the paper's evaluation.
+const (
+	SameCategory      = experiments.SameCategory
+	DifferentCategory = experiments.DifferentCategory
+	Uniform           = experiments.Uniform
+)
+
+// InitKind selects the initial clustering.
+type InitKind = experiments.InitKind
+
+// Initial configurations of §4.1 (singletons, random m=M, m<M, m>M),
+// plus Category clustering via Options.StartFromCategories.
+const (
+	InitSingletons = experiments.InitSingletons
+	InitRandomM    = experiments.InitRandomM
+	InitFewer      = experiments.InitFewer
+	InitMore       = experiments.InitMore
+)
+
+// StrategyKind selects the relocation strategy of §3.1.
+type StrategyKind int
+
+// Relocation strategies.
+const (
+	// Selfish peers minimize their own individual cost (§3.1.1).
+	Selfish StrategyKind = iota
+	// Altruistic peers maximize their contribution (§3.1.2).
+	Altruistic
+	// Hybrid mixes both with weight Options.HybridLambda (§6).
+	Hybrid
+)
+
+// Report re-exports the protocol run report.
+type Report = protocol.Report
+
+// RoundReport re-exports the per-round report.
+type RoundReport = protocol.RoundReport
+
+// Options configure a System. The zero value (normalized by New) is
+// the paper's experimental setting: 200 peers, 10 categories, α = 1,
+// linear θ, ε = 0.001, same-category scenario, singleton start.
+type Options struct {
+	// Peers is the network size |P|.
+	Peers int
+	// Categories is the number of topical categories.
+	Categories int
+	// Scenario is the data/query distribution.
+	Scenario Scenario
+	// Strategy selects peer behavior during reformulation.
+	Strategy StrategyKind
+	// HybridLambda is the selfish weight of the hybrid strategy.
+	HybridLambda float64
+	// Alpha is the membership cost weight α.
+	Alpha float64
+	// Epsilon is the relocation gain threshold ε.
+	Epsilon float64
+	// MaxRounds caps each protocol run.
+	MaxRounds int
+	// Init is the initial clustering; StartFromCategories overrides it
+	// with the ideal category clustering (§4.2's "good configuration").
+	Init                InitKind
+	StartFromCategories bool
+	// AllowNewClusters enables empty-cluster creation (§3.2).
+	AllowNewClusters bool
+	// Seed drives all randomness; equal seeds give equal systems.
+	Seed uint64
+}
+
+// System is a live clustered peer-to-peer system.
+type System struct {
+	opts   Options
+	sys    *experiments.System
+	eng    *core.Engine
+	runner *protocol.Runner
+	strat  core.Strategy
+	rng    *stats.RNG
+}
+
+// New builds a System. Zero-valued options fall back to the paper's
+// defaults.
+func New(opts Options) *System {
+	p := experiments.DefaultParams()
+	if opts.Peers > 0 {
+		p.Peers = opts.Peers
+	}
+	if opts.Categories > 0 {
+		p.Categories = opts.Categories
+		p.Corpus.Categories = opts.Categories
+	}
+	if opts.Alpha > 0 {
+		p.Alpha = opts.Alpha
+	}
+	if opts.Epsilon > 0 {
+		p.Epsilon = opts.Epsilon
+	}
+	if opts.MaxRounds > 0 {
+		p.MaxRounds = opts.MaxRounds
+	}
+	if opts.Seed != 0 {
+		p.Seed = opts.Seed
+	}
+	if opts.HybridLambda == 0 {
+		opts.HybridLambda = 0.5
+	}
+
+	sys := experiments.Build(p, opts.Scenario)
+	rng := stats.NewRNG(p.Seed ^ 0x6a09e667f3bcc908)
+	var cfg *cluster.Config
+	if opts.StartFromCategories {
+		cfg = sys.CategoryConfig()
+	} else {
+		cfg = sys.InitialConfig(opts.Init, rng)
+	}
+	eng := sys.NewEngine(cfg)
+
+	var strat core.Strategy
+	switch opts.Strategy {
+	case Selfish:
+		strat = core.NewSelfish()
+	case Altruistic:
+		strat = core.NewAltruistic()
+	case Hybrid:
+		strat = core.NewHybrid(opts.HybridLambda)
+	default:
+		panic(fmt.Sprintf("reform: unknown strategy %d", opts.Strategy))
+	}
+
+	return &System{
+		opts:   opts,
+		sys:    sys,
+		eng:    eng,
+		runner: sys.NewRunner(eng, strat, opts.AllowNewClusters),
+		strat:  strat,
+		rng:    rng,
+	}
+}
+
+// Run executes the reformulation protocol until no peer requests a
+// relocation (or MaxRounds), returning the full report.
+func (s *System) Run() Report { return s.runner.Run() }
+
+// RunRound executes a single protocol round.
+func (s *System) RunRound(round int) RoundReport { return s.runner.RunRound(round) }
+
+// SocialCost returns the normalized social cost (Eq. 2 / |P|).
+func (s *System) SocialCost() float64 { return s.eng.SCostNormalized() }
+
+// WorkloadCost returns the normalized workload cost (Eq. 3).
+func (s *System) WorkloadCost() float64 { return s.eng.WCostNormalized() }
+
+// NumPeers returns |P|.
+func (s *System) NumPeers() int { return s.eng.NumPeers() }
+
+// NumClusters returns the number of non-empty clusters.
+func (s *System) NumClusters() int { return s.eng.Config().NumNonEmpty() }
+
+// ClusterSizes returns the sorted sizes of all non-empty clusters.
+func (s *System) ClusterSizes() []int { return s.eng.Config().Sizes() }
+
+// ClusterOf returns the cluster ID of a peer.
+func (s *System) ClusterOf(peer int) int32 { return int32(s.eng.Config().ClusterOf(peer)) }
+
+// PeerCost returns peer p's individual cost in its current cluster
+// (Eq. 1).
+func (s *System) PeerCost(p int) float64 {
+	return s.eng.PeerCost(p, s.eng.Config().ClusterOf(p))
+}
+
+// IsNashEquilibrium reports whether no peer can improve its individual
+// cost by more than tol with a unilateral move.
+func (s *System) IsNashEquilibrium(tol float64) bool {
+	ok, _ := s.eng.IsNash(tol)
+	return ok
+}
+
+// DataCategory returns the category of peer p's content (-1 for mixed
+// content under the uniform scenario).
+func (s *System) DataCategory(p int) int { return s.sys.DataCat[p] }
+
+// RedirectInterest moves fraction frac of peer p's query workload to
+// category cat — the §4.2 workload update. Costs are refreshed.
+func (s *System) RedirectInterest(p int, cat int, frac float64) {
+	s.sys.RedirectWorkload(p, cat, frac, s.rng)
+	s.eng.Rebuild()
+	s.runner.BeginPeriod()
+}
+
+// ReplaceContent replaces fraction frac of peer p's data items with
+// fresh documents of category cat — the §4.2 content update.
+func (s *System) ReplaceContent(p int, cat int, frac float64) {
+	s.sys.ReplaceData(p, cat, frac, s.rng)
+	s.eng.Rebuild()
+	s.runner.BeginPeriod()
+}
+
+// ChurnPeer replaces the peer at slot p with a newcomer whose data and
+// interests are in the given category.
+func (s *System) ChurnPeer(p int, cat int) {
+	s.sys.ReplacePeerIdentity(p, cat, cat, s.rng)
+	s.eng.Rebuild()
+	s.runner.BeginPeriod()
+}
+
+// ActorSim builds the concurrent goroutine-per-peer realization of the
+// protocol over a clone of the current configuration. The returned
+// simulation owns its clone; the System is unaffected by it.
+func (s *System) ActorSim() *sim.Sim {
+	strategy := sim.Selfish
+	if s.opts.Strategy == Altruistic {
+		strategy = sim.Altruistic
+	}
+	p := s.sys.Params
+	return sim.New(s.sys.Peers, s.sys.WL, s.eng.Config().Clone(), sim.Options{
+		Alpha:     p.Alpha,
+		Theta:     p.Theta,
+		Epsilon:   p.Epsilon,
+		MaxRounds: p.MaxRounds,
+		Strategy:  strategy,
+	})
+}
+
+// Engine exposes the underlying cost engine for advanced use (Nash
+// analysis, custom strategies). Mutate the configuration only through
+// Engine.Move.
+func (s *System) Engine() *core.Engine { return s.eng }
