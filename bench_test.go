@@ -24,7 +24,21 @@ func benchParams() experiments.Params {
 // --- One benchmark per paper table/figure -------------------------------
 
 func BenchmarkTable1(b *testing.B) {
+	// Default Workers (one per CPU): measures the parallel harness.
 	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(p)
+		if len(res.Cells) != 24 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+func BenchmarkTable1Serial(b *testing.B) {
+	// Workers=1 pins the single-core cost; the ratio to BenchmarkTable1
+	// is the harness's multicore scaling.
+	p := benchParams()
+	p.Workers = 1
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunTable1(p)
 		if len(res.Cells) != 24 {
@@ -181,9 +195,24 @@ func BenchmarkEvaluateMoves(b *testing.B) {
 	sys := experiments.Build(p, experiments.SameCategory)
 	rng := stats.NewRNG(1)
 	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.EvaluateMoves(i % p.Peers)
+	}
+}
+
+func BenchmarkPeerCost(b *testing.B) {
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(5)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	cfg := eng.Config()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pid := i % p.Peers
+		eng.PeerCost(pid, cfg.ClusterOf(pid))
 	}
 }
 
@@ -203,6 +232,7 @@ func BenchmarkEngineMove(b *testing.B) {
 	sys := experiments.Build(p, experiments.SameCategory)
 	rng := stats.NewRNG(3)
 	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Move(i%p.Peers, cluster.CID(i%10))
@@ -213,6 +243,7 @@ func BenchmarkSCost(b *testing.B) {
 	p := benchParams()
 	sys := experiments.Build(p, experiments.SameCategory)
 	eng := sys.NewEngine(sys.CategoryConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = eng.SCostNormalized()

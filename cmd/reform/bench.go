@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// benchResult is one microbenchmark measurement in BENCH.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH.json schema: the engine microbenchmarks
+// plus one macrobenchmark per worker setting, so the perf trajectory
+// of the hot paths is tracked across PRs.
+type benchReport struct {
+	Scale      int           `json:"scale"`
+	Peers      int           `json:"peers"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBenchCommand implements `reform bench`: it runs the cost-engine
+// microbenchmarks and the Table 1 macrobenchmark through
+// testing.Benchmark and writes the results as JSON, for CI to archive
+// and compare across commits.
+func runBenchCommand(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH.json", "output path; - writes to stdout")
+	scale := fs.Int("scale", 4, "shrink factor for the benchmark system (matches bench_test.go at 4)")
+	fs.Parse(args)
+
+	p := experiments.DefaultParams().Scaled(*scale)
+	p.MaxRounds = 150
+
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(1)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+
+	report := benchReport{Scale: *scale, Peers: p.Peers}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	record("EvaluateMoves", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.EvaluateMoves(i % p.Peers)
+		}
+	})
+	record("EvaluateContribution", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.EvaluateContribution(i % p.Peers)
+		}
+	})
+	record("PeerCost", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := eng.Config()
+		for i := 0; i < b.N; i++ {
+			pid := i % p.Peers
+			eng.PeerCost(pid, cfg.ClusterOf(pid))
+		}
+	})
+	record("Move", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Move(i%p.Peers, cluster.CID(i%10))
+		}
+	})
+	record("SCost", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = eng.SCostNormalized()
+		}
+	})
+	record("Rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Rebuild()
+		}
+	})
+	record("Table1Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		pp := p
+		pp.Workers = 1
+		for i := 0; i < b.N; i++ {
+			experiments.RunTable1(pp)
+		}
+	})
+	record("Table1Workers", func(b *testing.B) {
+		b.ReportAllocs()
+		pp := p
+		pp.Workers = 0 // one worker per CPU
+		for i := 0; i < b.N; i++ {
+			experiments.RunTable1(pp)
+		}
+	})
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}

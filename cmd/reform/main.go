@@ -6,10 +6,18 @@
 //	reform -exp table1            # one experiment
 //	reform -exp all               # the whole evaluation
 //	reform -exp fig2 -seed 7 -csv # CSV output for plotting
+//	reform -workers 8 -exp all    # bound the experiment worker pool
+//	reform bench -o BENCH.json    # machine-readable microbenchmarks
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
 // churn, lookup, all.
+//
+// Experiment cells run on a worker pool (default: one per CPU; see
+// -workers). Outputs are deterministic per seed for every worker
+// count. The bench subcommand emits ns/op and allocs/op for the
+// cost-engine hot paths as BENCH.json, tracking the performance
+// trajectory across commits.
 package main
 
 import (
@@ -24,9 +32,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBenchCommand(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "all", "experiment to run (see package doc; 'all' runs everything)")
 	seed := flag.Uint64("seed", 1, "random seed; every experiment is deterministic per seed")
 	scale := flag.Int("scale", 1, "shrink factor for quick runs (peers and queries divided by it)")
+	workers := flag.Int("workers", 0, "experiment worker pool size; 0 = one per CPU")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "render crude ASCII plots for figure series")
 	flag.Parse()
@@ -34,6 +47,7 @@ func main() {
 	p := experiments.DefaultParams()
 	p.Seed = *seed
 	p = p.Scaled(*scale)
+	p.Workers = *workers
 
 	out := &printer{csv: *csv, plot: *plot}
 	known := map[string]func(){

@@ -87,14 +87,26 @@ func (c *Config) Representative(cid CID) int {
 
 // NonEmpty returns the IDs of non-empty clusters in ascending order.
 func (c *Config) NonEmpty() []CID {
-	var out []CID
+	return c.AppendNonEmpty(nil)
+}
+
+// AppendNonEmpty appends the IDs of non-empty clusters in ascending
+// order to dst and returns the extended slice. Hot paths pass a reused
+// scratch slice (dst[:0]) to stay allocation-free.
+func (c *Config) AppendNonEmpty(dst []CID) []CID {
 	for cid := range c.members {
 		if len(c.members[cid]) > 0 {
-			out = append(out, CID(cid))
+			dst = append(dst, CID(cid))
 		}
 	}
-	return out
+	return dst
 }
+
+// MembersUnsorted returns the member peer IDs of cid in internal
+// (arbitrary) order. The returned slice is shared with the Config and
+// must not be modified or retained across Moves; use Members for a
+// stable sorted copy.
+func (c *Config) MembersUnsorted(cid CID) []int { return c.members[cid] }
 
 // NumNonEmpty returns the number of non-empty clusters.
 func (c *Config) NumNonEmpty() int {

@@ -6,18 +6,11 @@ import (
 )
 
 // SCost returns the social cost (Eq. 2): the sum of the individual
-// costs of all peers under the current configuration.
+// costs of all peers under the current configuration. The value is
+// maintained incrementally under Move (membership, demand-weight and
+// cluster-recall sums), so this is an O(1) read, not a rescan.
 func (e *Engine) SCost() float64 {
-	var sum float64
-	for p := 0; p < e.n; p++ {
-		if e.wl.PeerTotal(p) == 0 {
-			// A peer with no workload pays only its membership cost.
-			sum += e.membership(e.cfg.Size(e.cfg.ClusterOf(p)))
-			continue
-		}
-		sum += e.PeerCost(p, e.cfg.ClusterOf(p))
-	}
-	return sum
+	return e.alpha*e.membSumRaw/float64(e.n) + e.sumW - e.recallSum
 }
 
 // SCostNormalized returns SCost/|P| — the mean individual cost, the
@@ -44,7 +37,8 @@ func (e *Engine) WCostParts() (maintenance, recall float64) {
 
 // WCost returns the workload cost (Eq. 3): the cluster maintenance term
 // α·Σ_c |c|·θ(|c|)/|P| plus the query-frequency-weighted recall lost
-// outside the initiators' clusters.
+// outside the initiators' clusters. Both terms are O(1) reads off the
+// incrementally maintained state.
 func (e *Engine) WCost() float64 {
 	return e.wcostMaintenance() + e.wcostRecall()
 }
@@ -57,12 +51,7 @@ func (e *Engine) WCostNormalized() float64 {
 }
 
 func (e *Engine) wcostMaintenance() float64 {
-	var sum float64
-	for _, c := range e.cfg.NonEmpty() {
-		s := e.cfg.Size(c)
-		sum += float64(s) * e.theta.F(s)
-	}
-	return e.alpha * sum / float64(e.n)
+	return e.alpha * e.membSumRaw / float64(e.n)
 }
 
 func (e *Engine) wcostRecall() float64 {
@@ -70,19 +59,7 @@ func (e *Engine) wcostRecall() float64 {
 	if total == 0 {
 		return 0
 	}
-	var sum float64
-	for p := 0; p < e.n; p++ {
-		cid := e.cfg.ClusterOf(p)
-		for _, entry := range e.wl.Peer(p) {
-			t := e.totals[entry.Q]
-			if t == 0 {
-				continue
-			}
-			in := e.clusterRes[entry.Q][cid]
-			sum += float64(entry.Count) / float64(total) * (1 - in/t)
-		}
-	}
-	return sum
+	return (e.ansDemand - e.wRecallSum) / float64(total)
 }
 
 // Contribution returns Eq. 6: the share of the results peer p supplies
@@ -91,9 +68,11 @@ func (e *Engine) wcostRecall() float64 {
 // content answers no query at all.
 func (e *Engine) Contribution(p int, c cluster.CID) float64 {
 	var num, den float64
+	cm := e.cmax
+	ci := int(c)
 	for _, re := range e.peerRes[p] {
 		den += e.demandTot[re.qid] * re.res
-		num += e.clusterDemand[re.qid][c] * re.res
+		num += e.clusterDemand[int(re.qid)*cm+ci] * re.res
 	}
 	if den == 0 {
 		return 0
@@ -115,23 +94,29 @@ type ContributionEval struct {
 
 // EvaluateContribution computes Eq. 6 against every non-empty cluster
 // in one pass. Ties prefer the current cluster, then the lowest ID.
+// Like EvaluateMoves it reuses the engine's dense scratch accumulator
+// and allocates nothing at steady state.
 func (e *Engine) EvaluateContribution(p int) ContributionEval {
 	cur := e.cfg.ClusterOf(p)
-	nonEmpty := e.cfg.NonEmpty()
-	num := make(map[cluster.CID]float64, len(nonEmpty))
+	nonEmpty := e.nonEmptyScratch()
+	num := e.accScratch
 	var den float64
+	cm := e.cmax
 	for _, re := range e.peerRes[p] {
 		den += e.demandTot[re.qid] * re.res
-		row := e.clusterDemand[re.qid]
+		row := e.clusterDemand[int(re.qid)*cm : int(re.qid)*cm+cm]
 		for _, c := range nonEmpty {
-			if row[c] != 0 {
-				num[c] += row[c] * re.res
+			if v := row[c]; v != 0 {
+				num[c] += v * re.res
 			}
 		}
 	}
 	ev := ContributionEval{Cur: cur}
 	if den == 0 {
 		ev.Best = cur
+		for _, c := range nonEmpty {
+			num[c] = 0
+		}
 		return ev
 	}
 	ev.CurContribution = num[cur] / den
@@ -141,6 +126,9 @@ func (e *Engine) EvaluateContribution(p int) ContributionEval {
 		if v > ev.BestContribution || (v == ev.BestContribution && ev.Best != cur && c < ev.Best) {
 			ev.Best, ev.BestContribution = c, v
 		}
+	}
+	for _, c := range nonEmpty {
+		num[c] = 0
 	}
 	return ev
 }
@@ -177,11 +165,7 @@ func (e *Engine) DeltaMembershipMarginal(c cluster.CID) float64 {
 // recall" measure of §3.1). It returns 0 when the query has no results
 // anywhere.
 func (e *Engine) ClusterRecall(qid workload.QID, c cluster.CID) float64 {
-	t := e.totals[qid]
-	if t == 0 {
-		return 0
-	}
-	return e.clusterRes[qid][c] / t
+	return e.clusterRes[int(qid)*e.cmax+int(c)] * e.invTot[qid]
 }
 
 // TotalResults returns Σ_p result(q,p) for qid.

@@ -69,7 +69,10 @@ func (t *TwoPeerInstance) VerifyNoNash() (string, error) {
 		return "", fmt.Errorf("counterexample requires 0 < alpha < 2, have %g", a)
 	}
 	trace := ""
-	for name, assign := range t.Configurations() {
+	configs := t.Configurations()
+	// Fixed order: map iteration would make the trace nondeterministic.
+	for _, name := range []string{"split", "together"} {
+		assign := configs[name]
 		t.reset(assign)
 		ok, w := t.Engine.IsNash(0)
 		if ok {

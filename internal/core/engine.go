@@ -5,6 +5,32 @@
 // strategy (Eq. 6), the selfish/altruistic/hybrid relocation strategies
 // (§3.1), and Nash-equilibrium analysis (§2.3) including the paper's
 // two-peer non-existence counterexample.
+//
+// # Performance design
+//
+// The cost engine sits on the hot path of every experiment: each
+// protocol round scores every candidate cluster for every peer. Its
+// steady-state paths (EvaluateMoves, PeerCost, Move, SCost) are
+// allocation-free by construction:
+//
+//   - All cluster-by-query aggregates (clusterRes, clusterDemand,
+//     demandW) live in single contiguous []float64 backing arrays
+//     indexed q*Cmax+c, for cache locality and cheap addressing.
+//   - Per-peer recall weights w(q) = num(q,Q(p))/num(Q(p)) — and
+//     w(q)/totals[q], the factor every recall term multiplies by — are
+//     precomputed once per Rebuild into peerWl, restricted to
+//     answerable queries so the hot loops carry no zero-total branch.
+//   - Evaluation methods use dense scratch slices owned by the Engine
+//     (ownScratch by QID, accScratch by CID, cidScratch for the
+//     non-empty cluster list) that are reset via explicit touched-entry
+//     lists, never reallocated.
+//   - The social and workload costs are maintained incrementally under
+//     Move (see the recallSum/wRecallSum/membSumRaw fields), so
+//     SCost/WCost are O(1) reads instead of full rescans.
+//
+// The scratch buffers are the reason an Engine is not safe for
+// concurrent use; build one engine per goroutine over shared read-only
+// peers and workload instead (see experiments.System.Warm).
 package core
 
 import (
@@ -21,10 +47,22 @@ type resEntry struct {
 	res float64
 }
 
+// wlEntry is a per-peer workload entry precomputed at Rebuild time,
+// restricted to answerable queries (totals[qid] > 0): the multiplicity
+// as a float, the recall weight w = num(q,Q(p))/num(Q(p)), and
+// w/totals[qid], which every recall term multiplies by.
+type wlEntry struct {
+	qid   workload.QID
+	count float64
+	w     float64
+	wInvT float64
+}
+
 // Engine evaluates all cost measures of the game over a live cluster
-// configuration. Recall and demand aggregates per cluster are
-// maintained incrementally under Move; content or workload changes
-// require Rebuild. Engine is not safe for concurrent use.
+// configuration. Recall and demand aggregates per cluster — and the
+// global social/workload costs — are maintained incrementally under
+// Move; content or workload changes require Rebuild. Engine is not
+// safe for concurrent use (it owns reusable scratch buffers).
 type Engine struct {
 	peers []*peer.Peer
 	wl    *workload.Workload
@@ -32,17 +70,60 @@ type Engine struct {
 	theta cluster.Theta
 	alpha float64
 	n     int
+	nq    int
+	cmax  int
 
 	// totals[q] = Σ_p result(q,p); zero-result queries carry no recall
-	// cost (r is undefined for them, see DESIGN.md §5.3).
+	// cost (r is undefined for them, see DESIGN.md §5.3). invTot[q] is
+	// 1/totals[q], or 0 for zero-result queries.
 	totals []float64
+	invTot []float64
 	// peerRes[p] lists every query p holds results for.
 	peerRes [][]resEntry
-	// clusterRes[q][c] = Σ_{p∈c} result(q,p).
-	clusterRes [][]float64
-	// demandTot[q] = num(q,Q); clusterDemand[q][c] = Σ_{p∈c} num(q,Q(p)).
-	demandTot     []float64
-	clusterDemand [][]float64
+	// peerWl[p] is p's local workload restricted to answerable queries,
+	// with recall weights baked in; peerW[p] = Σ w over those entries
+	// and peerOwnW[p] = Σ w·r(q,p) — the recall p supplies to its own
+	// workload, which is in-cluster wherever p goes. All three are
+	// invariant under Move.
+	peerWl   [][]wlEntry
+	peerW    []float64
+	peerOwnW []float64
+
+	// Flattened [nq*cmax] aggregates, indexed q*cmax+c:
+	//   clusterRes    = Σ_{p∈c} result(q,p)
+	//   clusterDemand = Σ_{p∈c} num(q,Q(p))   (answerable queries only)
+	//   demandW       = Σ_{p∈c} w_p(q)        (answerable queries only)
+	clusterRes    []float64
+	clusterDemand []float64
+	demandW       []float64
+	// demandTot[q] = num(q,Q).
+	demandTot []float64
+
+	// Incrementally maintained cost state:
+	//   membSumRaw = Σ_c |c|·θ(|c|)            (membership, sans α/|P|)
+	//   recallSum  = Σ_{q,c} demandW·clusterRes/totals
+	//   wRecallSum = Σ_{q,c} clusterDemand·clusterRes/totals
+	//   sumW       = Σ_p peerW[p]
+	//   ansDemand  = Σ_{q: totals[q]>0} demandTot[q]
+	// so SCost = α·membSumRaw/|P| + sumW − recallSum and the workload
+	// recall term is (ansDemand − wRecallSum)/num(Q).
+	membSumRaw float64
+	recallSum  float64
+	wRecallSum float64
+	sumW       float64
+	ansDemand  float64
+
+	// Scratch buffers (the reason Engine is single-goroutine):
+	// ownScratch is zero outside method calls; accScratch likewise;
+	// qMark/cidMark are epoch-stamped visited sets.
+	ownScratch   []float64
+	accScratch   []float64
+	cidScratch   []cluster.CID
+	multiScratch []cluster.CID
+	qMark        []uint64
+	qEpoch       uint64
+	cidMark      []uint64
+	cidEpoch     uint64
 
 	wlVersion int
 }
@@ -68,57 +149,224 @@ func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, theta c
 	return e
 }
 
-// Rebuild recomputes every aggregate from scratch. Call it after peer
-// content or workload mutations; plain relocations are tracked
+// grow returns s resliced to length n, reusing its backing array when
+// large enough and zeroing the live region either way.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growMarks(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// Rebuild recomputes every aggregate from scratch, reusing the
+// engine's backing arrays when their capacity allows. Call it after
+// peer content or workload mutations; plain relocations are tracked
 // incrementally by Move.
 func (e *Engine) Rebuild() {
 	nq := e.wl.NumQueries()
 	cmax := e.cfg.Cmax()
-	e.totals = make([]float64, nq)
-	e.peerRes = make([][]resEntry, e.n)
-	e.clusterRes = make([][]float64, nq)
-	e.demandTot = make([]float64, nq)
-	e.clusterDemand = make([][]float64, nq)
-	for q := 0; q < nq; q++ {
-		e.clusterRes[q] = make([]float64, cmax)
-		e.clusterDemand[q] = make([]float64, cmax)
+	e.nq, e.cmax = nq, cmax
+
+	e.totals = grow(e.totals, nq)
+	e.invTot = grow(e.invTot, nq)
+	e.demandTot = grow(e.demandTot, nq)
+	flat := nq * cmax
+	e.clusterRes = grow(e.clusterRes, flat)
+	e.clusterDemand = grow(e.clusterDemand, flat)
+	e.demandW = grow(e.demandW, flat)
+	e.ownScratch = grow(e.ownScratch, nq)
+	e.accScratch = grow(e.accScratch, cmax)
+	e.qMark = growMarks(e.qMark, nq)
+	e.cidMark = growMarks(e.cidMark, cmax)
+	if e.peerRes == nil {
+		e.peerRes = make([][]resEntry, e.n)
+		e.peerWl = make([][]wlEntry, e.n)
+		e.peerW = make([]float64, e.n)
+		e.peerOwnW = make([]float64, e.n)
 	}
+
+	// Pass 1: result counts -> totals, peerRes, clusterRes.
 	for pid, p := range e.peers {
-		cid := e.cfg.ClusterOf(pid)
+		cid := int(e.cfg.ClusterOf(pid))
+		pr := e.peerRes[pid][:0]
 		for q := 0; q < nq; q++ {
 			res := p.ResultCount(e.wl.Query(workload.QID(q)))
 			if res == 0 {
 				continue
 			}
 			r := float64(res)
-			e.peerRes[pid] = append(e.peerRes[pid], resEntry{qid: workload.QID(q), res: r})
+			pr = append(pr, resEntry{qid: workload.QID(q), res: r})
 			e.totals[q] += r
-			e.clusterRes[q][cid] += r
+			e.clusterRes[q*cmax+cid] += r
 		}
+		e.peerRes[pid] = pr
 		for _, entry := range e.wl.Peer(pid) {
-			c := float64(entry.Count)
-			e.demandTot[entry.Q] += c
-			e.clusterDemand[entry.Q][cid] += c
+			e.demandTot[entry.Q] += float64(entry.Count)
 		}
 	}
+	for q := 0; q < nq; q++ {
+		if e.totals[q] > 0 {
+			e.invTot[q] = 1 / e.totals[q]
+		}
+	}
+
+	// Pass 2: precompute per-peer recall weights over answerable
+	// queries and accumulate the cluster demand aggregates.
+	for pid := range e.peers {
+		cid := int(e.cfg.ClusterOf(pid))
+		tot := float64(e.wl.PeerTotal(pid))
+		pw := e.peerWl[pid][:0]
+		var wSum float64
+		for _, entry := range e.wl.Peer(pid) {
+			q := int(entry.Q)
+			if e.totals[q] == 0 {
+				continue
+			}
+			w := float64(entry.Count) / tot
+			pw = append(pw, wlEntry{
+				qid:   entry.Q,
+				count: float64(entry.Count),
+				w:     w,
+				wInvT: w * e.invTot[q],
+			})
+			wSum += w
+			e.clusterDemand[q*cmax+cid] += float64(entry.Count)
+			e.demandW[q*cmax+cid] += w
+		}
+		e.peerWl[pid] = pw
+		e.peerW[pid] = wSum
+		var ownW float64
+		own := e.ownScratch
+		for _, re := range e.peerRes[pid] {
+			own[re.qid] = re.res
+		}
+		for _, en := range pw {
+			ownW += en.wInvT * own[en.qid]
+		}
+		for _, re := range e.peerRes[pid] {
+			own[re.qid] = 0
+		}
+		e.peerOwnW[pid] = ownW
+	}
+
+	// Pass 3: global incremental-cost state.
+	e.membSumRaw = 0
+	for c := 0; c < cmax; c++ {
+		if s := e.cfg.Size(cluster.CID(c)); s > 0 {
+			e.membSumRaw += float64(s) * e.theta.F(s)
+		}
+	}
+	e.sumW = 0
+	for _, w := range e.peerW {
+		e.sumW += w
+	}
+	e.ansDemand = 0
+	for q := 0; q < nq; q++ {
+		if e.totals[q] > 0 {
+			e.ansDemand += e.demandTot[q]
+		}
+	}
+	e.recallSum, e.wRecallSum = 0, 0
+	for q := 0; q < nq; q++ {
+		it := e.invTot[q]
+		if it == 0 {
+			continue
+		}
+		row := q * cmax
+		for c := 0; c < cmax; c++ {
+			if r := e.clusterRes[row+c]; r != 0 {
+				e.recallSum += e.demandW[row+c] * r * it
+				e.wRecallSum += e.clusterDemand[row+c] * r * it
+			}
+		}
+	}
+
 	e.wlVersion = e.wl.Version()
 }
 
+// moveRecallTerms adds sign times the recall-sum terms of query q in
+// clusters fo and to (flat row offsets already scaled by cmax).
+func (e *Engine) moveRecallTerms(iF, iT int, it, sign float64) {
+	e.recallSum += sign * (e.demandW[iF]*e.clusterRes[iF] + e.demandW[iT]*e.clusterRes[iT]) * it
+	e.wRecallSum += sign * (e.clusterDemand[iF]*e.clusterRes[iF] + e.clusterDemand[iT]*e.clusterRes[iT]) * it
+}
+
 // Move relocates peer p to cluster `to`, updating all incremental
-// aggregates. It returns the previous cluster.
+// aggregates — including the global social/workload cost state — in
+// time proportional to p's workload and result lists. It returns the
+// previous cluster. Move allocates nothing at steady state.
 func (e *Engine) Move(p int, to cluster.CID) cluster.CID {
-	from := e.cfg.Move(p, to)
+	from := e.cfg.ClusterOf(p)
 	if from == to {
 		return from
 	}
-	for _, re := range e.peerRes[p] {
-		e.clusterRes[re.qid][from] -= re.res
-		e.clusterRes[re.qid][to] += re.res
+	// Membership: only the sizes of `from` and `to` change.
+	sf, st := e.cfg.Size(from), e.cfg.Size(to)
+	e.membSumRaw -= float64(sf) * e.theta.F(sf)
+	if sf > 1 {
+		e.membSumRaw += float64(sf-1) * e.theta.F(sf-1)
 	}
-	for _, entry := range e.wl.Peer(p) {
-		c := float64(entry.Count)
-		e.clusterDemand[entry.Q][from] -= c
-		e.clusterDemand[entry.Q][to] += c
+	if st > 0 {
+		e.membSumRaw -= float64(st) * e.theta.F(st)
+	}
+	e.membSumRaw += float64(st+1) * e.theta.F(st+1)
+	e.cfg.Move(p, to)
+
+	cm := e.cmax
+	fo, t := int(from), int(to)
+	pw := e.peerWl[p]
+	pr := e.peerRes[p]
+
+	// The recall sums change exactly at the (q, from/to) slots touched
+	// by p's demand (peerWl) or p's results (peerRes). Subtract the old
+	// terms over the union of both query lists, apply the aggregate
+	// deltas, then add the new terms back. qMark deduplicates queries
+	// appearing in both lists without allocating.
+	e.qEpoch++
+	ep := e.qEpoch
+	for i := range pw {
+		q := int(pw[i].qid)
+		e.qMark[q] = ep
+		e.moveRecallTerms(q*cm+fo, q*cm+t, e.invTot[q], -1)
+	}
+	for i := range pr {
+		q := int(pr[i].qid)
+		if e.qMark[q] != ep {
+			e.moveRecallTerms(q*cm+fo, q*cm+t, e.invTot[q], -1)
+		}
+	}
+	for i := range pw {
+		en := &pw[i]
+		q := int(en.qid)
+		e.demandW[q*cm+fo] -= en.w
+		e.demandW[q*cm+t] += en.w
+		e.clusterDemand[q*cm+fo] -= en.count
+		e.clusterDemand[q*cm+t] += en.count
+	}
+	for i := range pr {
+		re := &pr[i]
+		q := int(re.qid)
+		e.clusterRes[q*cm+fo] -= re.res
+		e.clusterRes[q*cm+t] += re.res
+	}
+	for i := range pw {
+		q := int(pw[i].qid)
+		e.moveRecallTerms(q*cm+fo, q*cm+t, e.invTot[q], 1)
+	}
+	for i := range pr {
+		q := int(pr[i].qid)
+		if e.qMark[q] != ep {
+			e.moveRecallTerms(q*cm+fo, q*cm+t, e.invTot[q], 1)
+		}
 	}
 	return from
 }
@@ -140,7 +388,8 @@ func (e *Engine) NumPeers() int { return e.n }
 func (e *Engine) Alpha() float64 { return e.alpha }
 
 // SetAlpha changes α. No rebuild is needed: α only scales the
-// membership term at evaluation time.
+// membership term at evaluation time (the incremental state stores the
+// membership sum without the α factor).
 func (e *Engine) SetAlpha(a float64) {
 	if a < 0 {
 		panic("core: negative alpha")
@@ -154,11 +403,6 @@ func (e *Engine) Theta() cluster.Theta { return e.theta }
 // Stale reports whether the workload changed since the last Rebuild.
 func (e *Engine) Stale() bool { return e.wl.Version() != e.wlVersion }
 
-// recallWeight returns w = num(q,Q(p))/num(Q(p)) for one workload entry.
-func (e *Engine) recallWeight(p int, count int) float64 {
-	return float64(count) / float64(e.wl.PeerTotal(p))
-}
-
 // membership returns the first term of Eq. 1 for a cluster of the given
 // size: α·θ(size)/|P|.
 func (e *Engine) membership(size int) float64 {
@@ -166,51 +410,45 @@ func (e *Engine) membership(size int) float64 {
 }
 
 // ownRecall returns Σ_q w(q)·r(q,p): the recall p supplies to its own
-// workload, which is in-cluster wherever p goes.
-func (e *Engine) ownRecall(p int) float64 {
-	own := ownResMap(e.peerRes[p])
-	var acc float64
-	for _, entry := range e.wl.Peer(p) {
-		t := e.totals[entry.Q]
-		if t == 0 {
-			continue
-		}
-		acc += e.recallWeight(p, entry.Count) * own[entry.Q] / t
-	}
-	return acc
-}
+// workload, which is in-cluster wherever p goes. Precomputed at
+// Rebuild — it is invariant under relocations.
+func (e *Engine) ownRecall(p int) float64 { return e.peerOwnW[p] }
 
-func ownResMap(entries []resEntry) map[workload.QID]float64 {
-	m := make(map[workload.QID]float64, len(entries))
-	for _, re := range entries {
-		m[re.qid] = re.res
-	}
-	return m
+// nonEmptyScratch refreshes and returns the engine's reusable
+// non-empty-cluster list.
+func (e *Engine) nonEmptyScratch() []cluster.CID {
+	e.cidScratch = e.cfg.AppendNonEmpty(e.cidScratch[:0])
+	return e.cidScratch
 }
 
 // PeerCost returns pcost(p, c) (Eq. 1 restricted to single-cluster
 // strategies): the cost for p if its cluster were c. Probing a cluster
 // p does not belong to accounts for p's own arrival: the membership
 // term uses θ(|c|+1) and p's own results count as in-cluster, matching
-// the §2.3 worked example.
+// the §2.3 worked example. PeerCost allocates nothing.
 func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
 	cur := e.cfg.ClusterOf(p)
 	size := e.cfg.Size(c)
-	if c != cur {
-		size++
+	cm := e.cmax
+	ci := int(c)
+	if c == cur {
+		cost := e.membership(size)
+		for _, en := range e.peerWl[p] {
+			cost += en.w - en.wInvT*e.clusterRes[int(en.qid)*cm+ci]
+		}
+		return cost
 	}
-	cost := e.membership(size)
-	own := ownResMap(e.peerRes[p])
-	for _, entry := range e.wl.Peer(p) {
-		t := e.totals[entry.Q]
-		if t == 0 {
-			continue
-		}
-		in := e.clusterRes[entry.Q][c]
-		if c != cur {
-			in += own[entry.Q]
-		}
-		cost += e.recallWeight(p, entry.Count) * (1 - in/t)
+	cost := e.membership(size + 1)
+	own := e.ownScratch
+	pr := e.peerRes[p]
+	for i := range pr {
+		own[pr[i].qid] = pr[i].res
+	}
+	for _, en := range e.peerWl[p] {
+		cost += en.w - en.wInvT*(e.clusterRes[int(en.qid)*cm+ci]+own[en.qid])
+	}
+	for i := range pr {
+		own[pr[i].qid] = 0
 	}
 	return cost
 }
@@ -218,32 +456,28 @@ func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
 // CostAlone returns pcost for p in a fresh singleton cluster:
 // α·θ(1)/|P| plus the recall of everything p does not hold itself.
 func (e *Engine) CostAlone(p int) float64 {
-	cost := e.membership(1)
-	own := ownResMap(e.peerRes[p])
-	for _, entry := range e.wl.Peer(p) {
-		t := e.totals[entry.Q]
-		if t == 0 {
-			continue
-		}
-		cost += e.recallWeight(p, entry.Count) * (1 - own[entry.Q]/t)
-	}
-	return cost
+	return e.membership(1) + e.peerW[p] - e.peerOwnW[p]
 }
 
 // PeerCostMulti evaluates the full Eq. 1 for a multi-cluster strategy
 // s ⊆ C: Σ_{c∈s} α·θ(|c ∪ {p}|)/|P| plus the recall lost to peers in no
 // cluster of s. It is exposed for completeness; the protocol and the
-// experiments use single-cluster strategies per §2.3.
+// experiments use single-cluster strategies per §2.3. Like the other
+// evaluation methods it reuses the engine's scratch buffers and
+// allocates nothing at steady state.
 func (e *Engine) PeerCostMulti(p int, s []cluster.CID) float64 {
 	cur := e.cfg.ClusterOf(p)
 	var cost float64
-	seen := make(map[cluster.CID]bool, len(s))
+	e.cidEpoch++
+	ep := e.cidEpoch
+	e.multiScratch = e.multiScratch[:0]
 	inAny := false
 	for _, c := range s {
-		if seen[c] {
+		if e.cidMark[c] == ep {
 			continue
 		}
-		seen[c] = true
+		e.cidMark[c] = ep
+		e.multiScratch = append(e.multiScratch, c)
 		size := e.cfg.Size(c)
 		if c != cur {
 			size++
@@ -252,23 +486,29 @@ func (e *Engine) PeerCostMulti(p int, s []cluster.CID) float64 {
 		}
 		cost += e.membership(size)
 	}
-	own := ownResMap(e.peerRes[p])
-	for _, entry := range e.wl.Peer(p) {
-		t := e.totals[entry.Q]
-		if t == 0 {
-			continue
-		}
+	chosen := e.multiScratch
+	own := e.ownScratch
+	pr := e.peerRes[p]
+	for i := range pr {
+		own[pr[i].qid] = pr[i].res
+	}
+	cm := e.cmax
+	for _, en := range e.peerWl[p] {
+		q := int(en.qid)
 		var in float64
-		for c := range seen {
-			in += e.clusterRes[entry.Q][c]
+		for _, c := range chosen {
+			in += e.clusterRes[q*cm+int(c)]
 		}
-		if !inAny && len(seen) > 0 {
-			in += own[entry.Q]
+		if !inAny && len(chosen) > 0 {
+			in += own[en.qid]
 		}
-		if in > t {
+		if t := e.totals[q]; in > t {
 			in = t
 		}
-		cost += e.recallWeight(p, entry.Count) * (1 - in/t)
+		cost += en.w - en.wInvT*in
+	}
+	for i := range pr {
+		own[pr[i].qid] = 0
 	}
 	return cost
 }
@@ -292,31 +532,27 @@ func (m MoveEval) Gain() float64 { return m.CurCost - m.BestCost }
 // EvaluateMoves computes pcost(p,c) for every non-empty cluster plus
 // the singleton option in one pass over p's workload. Ties prefer the
 // current cluster (no churn), then the lowest cluster ID, keeping the
-// dynamics deterministic.
+// dynamics deterministic. EvaluateMoves allocates nothing at steady
+// state: the per-cluster accumulator is a dense scratch slice reset
+// through the non-empty cluster list.
 func (e *Engine) EvaluateMoves(p int) MoveEval {
 	cur := e.cfg.ClusterOf(p)
-	nonEmpty := e.cfg.NonEmpty()
+	nonEmpty := e.nonEmptyScratch()
 
 	// acc[c] accumulates Σ_q w·clusterRes[q][c]/totals[q].
-	acc := make(map[cluster.CID]float64, len(nonEmpty))
-	var w float64 // Σ weights of answerable queries
-	var ownAcc float64
-	own := ownResMap(e.peerRes[p])
-	for _, entry := range e.wl.Peer(p) {
-		t := e.totals[entry.Q]
-		if t == 0 {
-			continue
-		}
-		wq := e.recallWeight(p, entry.Count)
-		w += wq
-		ownAcc += wq * own[entry.Q] / t
-		row := e.clusterRes[entry.Q]
+	acc := e.accScratch
+	cm := e.cmax
+	for _, en := range e.peerWl[p] {
+		row := e.clusterRes[int(en.qid)*cm : int(en.qid)*cm+cm]
+		wit := en.wInvT
 		for _, c := range nonEmpty {
-			if row[c] != 0 {
-				acc[c] += wq * row[c] / t
+			if v := row[c]; v != 0 {
+				acc[c] += wit * v
 			}
 		}
 	}
+	w := e.peerW[p]
+	ownAcc := e.peerOwnW[p]
 
 	ev := MoveEval{Cur: cur}
 	ev.CurCost = e.membership(e.cfg.Size(cur)) + w - acc[cur]
@@ -330,6 +566,9 @@ func (e *Engine) EvaluateMoves(p int) MoveEval {
 		if cost < ev.BestCost || (cost == ev.BestCost && ev.Best != cur && c < ev.Best) {
 			ev.Best, ev.BestCost = c, cost
 		}
+	}
+	for _, c := range nonEmpty {
+		acc[c] = 0
 	}
 	return ev
 }

@@ -235,6 +235,11 @@ func TestEvaluateContributionMatchesContribution(t *testing.T) {
 }
 
 func TestPeerCostMultiSingleMatchesPeerCost(t *testing.T) {
+	// A singleton strategy {c} under Eq. 1 must price exactly like the
+	// single-cluster pcost(p, c) — both for the peer's current cluster
+	// and for probes of every other non-empty cluster (where the
+	// membership term and the peer's own results account for its
+	// hypothetical arrival).
 	e := newTestEngine(t, 12, 8, 13, nil)
 	rng := stats.NewRNG(21)
 	for step := 0; step < 20; step++ {
@@ -244,6 +249,11 @@ func TestPeerCostMultiSingleMatchesPeerCost(t *testing.T) {
 		cur := e.Config().ClusterOf(p)
 		if a, b := e.PeerCostMulti(p, []cluster.CID{cur}), e.PeerCost(p, cur); !almost(a, b) {
 			t.Errorf("peer %d: multi({cur})=%g pcost=%g", p, a, b)
+		}
+		for _, c := range e.Config().NonEmpty() {
+			if a, b := e.PeerCostMulti(p, []cluster.CID{c}), e.PeerCost(p, c); !almost(a, b) {
+				t.Errorf("peer %d cluster %d (cur=%d): multi({c})=%g pcost=%g", p, c, cur, a, b)
+			}
 		}
 	}
 }

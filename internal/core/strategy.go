@@ -141,7 +141,10 @@ func (h *Hybrid) Decide(e *Engine, p int, _ float64, _ bool) Decision {
 	d := Decision{Peer: p, From: cur}
 	bestScore := 0.0
 	bestC := cur
-	for _, c := range e.cfg.NonEmpty() {
+	// The scratch non-empty list stays valid through the loop: PeerCost
+	// and Contribution do not refresh it and the configuration does not
+	// change during evaluation.
+	for _, c := range e.nonEmptyScratch() {
 		if c == cur {
 			continue
 		}

@@ -15,30 +15,33 @@ import (
 func RunAsyncComparison(p Params) *metrics.Table {
 	t := metrics.NewTable("Extension: coordinated protocol vs asynchronous best response (singleton init, selfish)",
 		"scenario", "mode", "converged", "rounds/passes", "moves", "#clusters", "SCost")
-	for _, sc := range []Scenario{SameCategory, DifferentCategory, Uniform} {
-		sys := Build(p, sc)
-
-		// Coordinated protocol.
+	scenarios := []Scenario{SameCategory, DifferentCategory, Uniform}
+	systems := buildSystems(p, scenarios, p.workerCount())
+	// Two independent cells per scenario — the coordinated protocol and
+	// asynchronous best-response dynamics from the same start — sharing
+	// the scenario's warmed System.
+	for _, row := range p.runRows(2*len(scenarios), func(i int) []string {
+		sc := scenarios[i/2]
+		sys := systems[i/2]
 		rng := stats.NewRNG(p.Seed ^ 0xd6e8feb8)
 		cfg := sys.InitialConfig(InitSingletons, rng)
 		eng := sys.NewEngine(cfg)
-		rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
-		moves := 0
-		for _, rr := range rpt.Rounds {
-			moves += rr.Granted
+		if i%2 == 0 {
+			rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+			moves := 0
+			for _, rr := range rpt.Rounds {
+				moves += rr.Granted
+			}
+			return []string{sc.String(), "protocol", fmt.Sprint(rpt.Converged),
+				metrics.I(rpt.EffectiveRounds()), metrics.I(moves),
+				metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3)}
 		}
-		t.AddRow(sc.String(), "protocol", fmt.Sprint(rpt.Converged),
-			metrics.I(rpt.EffectiveRounds()), metrics.I(moves),
-			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3))
-
-		// Asynchronous best-response dynamics from the same start.
-		rng = stats.NewRNG(p.Seed ^ 0xd6e8feb8)
-		cfg = sys.InitialConfig(InitSingletons, rng)
-		eng = sys.NewEngine(cfg)
 		dyn := eng.BestResponseDynamics(stats.NewRNG(p.Seed^0xa511e9b3), p.Epsilon, p.MaxRounds)
-		t.AddRow(sc.String(), "async-BR", fmt.Sprint(dyn.Converged),
+		return []string{sc.String(), "async-BR", fmt.Sprint(dyn.Converged),
 			metrics.I(dyn.Passes), metrics.I(dyn.Moves),
-			metrics.I(eng.Config().NumNonEmpty()), metrics.F(dyn.FinalSCost, 3))
+			metrics.I(eng.Config().NumNonEmpty()), metrics.F(dyn.FinalSCost, 3)}
+	}) {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -38,42 +38,57 @@ func RunBaselineComparison(p Params) *metrics.Table {
 		return sys, half
 	}
 
-	addRow := func(name string, sys *System, eng *core.Engine, msgs int) {
-		t.AddRow(name,
+	row := func(name string, sys *System, eng *core.Engine, msgs int) []string {
+		return []string{name,
 			metrics.F(eng.SCostNormalized(), 3),
 			metrics.F(eng.WCostNormalized(), 3),
 			metrics.I(eng.Config().NumNonEmpty()),
 			metrics.F(baseline.CategoryPurity(eng.Config(), sys.DataCat), 3),
-			metrics.I(msgs))
+			metrics.I(msgs)}
 	}
 
-	// No maintenance.
-	sys, _ := build()
-	eng := sys.NewEngine(sys.CategoryConfig())
-	addRow("none", sys, eng, 0)
-
-	// Protocol, both strategies.
-	for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
-		sys, _ := build()
-		eng := sys.NewEngine(sys.CategoryConfig())
-		rpt := sys.NewRunner(eng, strat, false).Run()
-		addRow(strat.Name(), sys, eng, rpt.Messages)
+	// One independent cell per maintenance response, each over its own
+	// freshly built and drifted system.
+	responses := []func() []string{
+		func() []string { // no maintenance
+			sys, _ := build()
+			eng := sys.NewEngine(sys.CategoryConfig())
+			return row("none", sys, eng, 0)
+		},
+		func() []string {
+			sys, _ := build()
+			eng := sys.NewEngine(sys.CategoryConfig())
+			strat := core.NewSelfish()
+			rpt := sys.NewRunner(eng, strat, false).Run()
+			return row(strat.Name(), sys, eng, rpt.Messages)
+		},
+		func() []string {
+			sys, _ := build()
+			eng := sys.NewEngine(sys.CategoryConfig())
+			strat := core.NewAltruistic()
+			rpt := sys.NewRunner(eng, strat, false).Run()
+			return row(strat.Name(), sys, eng, rpt.Messages)
+		},
+		func() []string { // global k-means re-clustering (k = categories)
+			sys, _ := build()
+			km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0xbf58476d))
+			eng := sys.NewEngine(km.Config)
+			return row(fmt.Sprintf("kmeans(k=%d)", p.Categories), sys, eng, km.Messages)
+		},
+		func() []string { // flood: one giant cluster
+			sys, _ := build()
+			eng := sys.NewEngine(baseline.SingleCluster(p.Peers))
+			return row("flood", sys, eng, 0)
+		},
+		func() []string { // no cooperation at all
+			sys, _ := build()
+			eng := sys.NewEngine(baseline.Singletons(p.Peers))
+			return row("singletons", sys, eng, 0)
+		},
 	}
-
-	// Global k-means re-clustering (k = number of categories).
-	sys, _ = build()
-	km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0xbf58476d))
-	eng = sys.NewEngine(km.Config)
-	addRow(fmt.Sprintf("kmeans(k=%d)", p.Categories), sys, eng, km.Messages)
-
-	// Flood and singletons.
-	sys, _ = build()
-	eng = sys.NewEngine(baseline.SingleCluster(p.Peers))
-	addRow("flood", sys, eng, 0)
-	sys, _ = build()
-	eng = sys.NewEngine(baseline.Singletons(p.Peers))
-	addRow("singletons", sys, eng, 0)
-
+	for _, r := range p.runRows(len(responses), func(i int) []string { return responses[i]() }) {
+		t.AddRow(r...)
+	}
 	return t
 }
 
@@ -85,21 +100,28 @@ func RunKMeansDiscovery(p Params) *metrics.Table {
 	t := metrics.NewTable("Extension: decentralized discovery vs centralized k-means (same-category scenario)",
 		"method", "#clusters", "SCost", "purity", "messages")
 	sys := Build(p, SameCategory)
-
-	rng := stats.NewRNG(p.Seed ^ 0x2545f4914f6cdd1d)
-	cfg := sys.InitialConfig(InitSingletons, rng)
-	eng := sys.NewEngine(cfg)
-	rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
-	t.AddRow("selfish protocol", metrics.I(rpt.FinalClusters),
-		metrics.F(rpt.FinalSCost, 3),
-		metrics.F(baseline.CategoryPurity(eng.Config(), sys.DataCat), 3),
-		metrics.I(rpt.Messages))
-
-	km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0x9e3779b9))
-	eng = sys.NewEngine(km.Config)
-	t.AddRow(fmt.Sprintf("kmeans(k=%d)", p.Categories), metrics.I(km.Config.NumNonEmpty()),
-		metrics.F(eng.SCostNormalized(), 3),
-		metrics.F(baseline.CategoryPurity(km.Config, sys.DataCat), 3),
-		metrics.I(km.Messages))
+	if p.workerCount() > 1 {
+		sys.Warm()
+	}
+	for _, r := range p.runRows(2, func(i int) []string {
+		if i == 0 {
+			rng := stats.NewRNG(p.Seed ^ 0x2545f4914f6cdd1d)
+			cfg := sys.InitialConfig(InitSingletons, rng)
+			eng := sys.NewEngine(cfg)
+			rpt := sys.NewRunner(eng, core.NewSelfish(), true).Run()
+			return []string{"selfish protocol", metrics.I(rpt.FinalClusters),
+				metrics.F(rpt.FinalSCost, 3),
+				metrics.F(baseline.CategoryPurity(eng.Config(), sys.DataCat), 3),
+				metrics.I(rpt.Messages)}
+		}
+		km := baseline.KMeans(sys.Peers, p.Categories, 50, stats.NewRNG(p.Seed^0x9e3779b9))
+		eng := sys.NewEngine(km.Config)
+		return []string{fmt.Sprintf("kmeans(k=%d)", p.Categories), metrics.I(km.Config.NumNonEmpty()),
+			metrics.F(eng.SCostNormalized(), 3),
+			metrics.F(baseline.CategoryPurity(km.Config, sys.DataCat), 3),
+			metrics.I(km.Messages)}
+	}) {
+		t.AddRow(r...)
+	}
 	return t
 }

@@ -64,7 +64,12 @@ func RunLookupCost(p Params) *metrics.Table {
 	t := metrics.NewTable("Extension: expected per-query lookup cost vs clustering",
 		"init", "#clusters", "mean-size", "in-cluster-recall", "lookup-cost")
 	sys := Build(p, SameCategory)
-	for _, init := range []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore} {
+	inits := []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore}
+	if p.workerCount() > 1 {
+		sys.Warm()
+	}
+	for _, r := range p.runRows(len(inits), func(i int) []string {
+		init := inits[i]
 		rng := stats.NewRNG(p.Seed ^ 0xc4ceb9fe1a85ec53)
 		cfg := sys.InitialConfig(init, rng)
 		eng := sys.NewEngine(cfg)
@@ -99,8 +104,10 @@ func RunLookupCost(p Params) *metrics.Table {
 				weightSum += w
 			}
 		}
-		t.AddRow(init.String(), metrics.I(len(nonEmpty)), metrics.F(meanSize, 1),
-			metrics.F(recallSum/weightSum, 3), metrics.F(lookupSum/weightSum, 1))
+		return []string{init.String(), metrics.I(len(nonEmpty)), metrics.F(meanSize, 1),
+			metrics.F(recallSum/weightSum, 3), metrics.F(lookupSum/weightSum, 1)}
+	}) {
+		t.AddRow(r...)
 	}
 	return t
 }

@@ -36,8 +36,17 @@ func RunFig1(p Params, rounds int) *Fig1Result {
 	wc.AddColumn("altruistic")
 
 	type traj struct{ s, w []float64 }
-	byStrat := map[string]traj{}
-	for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
+	strategies := []func() core.Strategy{
+		func() core.Strategy { return core.NewSelfish() },
+		func() core.Strategy { return core.NewAltruistic() },
+	}
+	workers := p.workerCount()
+	if workers > 1 {
+		sys.Warm()
+	}
+	trajs := make([]traj, len(strategies))
+	runIndexed(workers, len(strategies), func(i int) {
+		strat := strategies[i]()
 		rng := stats.NewRNG(p.Seed ^ 0x9e3779b97f4a7c15)
 		cfg := sys.InitialConfig(InitRandomM, rng)
 		eng := sys.NewEngine(cfg)
@@ -59,9 +68,9 @@ func RunFig1(p Params, rounds int) *Fig1Result {
 				break
 			}
 		}
-		byStrat[strat.Name()] = traj{s: ss, w: ws}
-	}
-	sel, alt := byStrat["selfish"], byStrat["altruistic"]
+		trajs[i] = traj{s: ss, w: ws}
+	})
+	sel, alt := trajs[0], trajs[1]
 	for r := 0; r <= rounds; r++ {
 		sc.AddPoint(float64(r), sel.s[r], alt.s[r])
 		wc.AddPoint(float64(r), sel.w[r], alt.w[r])

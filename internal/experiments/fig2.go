@@ -29,25 +29,34 @@ func updateExperiment(p Params, title, xlabel string, levels []float64,
 	// strategy curves is what the protocol recovers.
 	out.AddColumn("no-reform")
 
-	for _, x := range levels {
-		var ys []float64
-		var noReform float64
-		for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
-			// A fresh deterministic system per (level, strategy): both
-			// strategies see the identical perturbed state.
-			sys := Build(p, SameCategory)
-			cfg := sys.CategoryConfig()
-			// c_cur is the cluster of category 0.
-			members := cfg.Members(0)
-			rng := stats.NewRNG(p.Seed ^ 0x5bd1e995 ^ uint64(x*1e6))
-			apply(sys, members, x, rng)
-			eng := sys.NewEngine(cfg)
-			noReform = eng.SCostNormalized()
-			runner := sys.NewRunner(eng, strat, false)
-			runner.Run()
-			ys = append(ys, eng.SCostNormalized())
-		}
-		out.AddPoint(x, append(ys, noReform)...)
+	// One independent cell per (level, strategy): each builds and
+	// perturbs a private deterministic system, so both strategies see
+	// the identical perturbed state and cells parallelize freely.
+	strategies := []func() core.Strategy{
+		func() core.Strategy { return core.NewSelfish() },
+		func() core.Strategy { return core.NewAltruistic() },
+	}
+	type cell struct{ y, noReform float64 }
+	cells := make([]cell, len(levels)*len(strategies))
+	runIndexed(p.workerCount(), len(cells), func(i int) {
+		x := levels[i/len(strategies)]
+		strat := strategies[i%len(strategies)]()
+		sys := Build(p, SameCategory)
+		cfg := sys.CategoryConfig()
+		// c_cur is the cluster of category 0.
+		members := cfg.Members(0)
+		rng := stats.NewRNG(p.Seed ^ 0x5bd1e995 ^ uint64(x*1e6))
+		apply(sys, members, x, rng)
+		eng := sys.NewEngine(cfg)
+		noReform := eng.SCostNormalized()
+		runner := sys.NewRunner(eng, strat, false)
+		runner.Run()
+		cells[i] = cell{y: eng.SCostNormalized(), noReform: noReform}
+	})
+	for li, x := range levels {
+		sel := cells[li*len(strategies)]
+		alt := cells[li*len(strategies)+1]
+		out.AddPoint(x, sel.y, alt.y, alt.noReform)
 	}
 	return out
 }

@@ -30,42 +30,48 @@ func RunFig4(p Params, alphas []float64) *metrics.Series {
 		out.AddColumn(fmt.Sprintf("alpha=%g", a))
 	}
 
-	for _, x := range Levels01() {
-		ys := make([]float64, 0, len(alphas))
-		for _, a := range alphas {
-			sys := Build(p, SameCategory)
-			// Merge category 2 into category 1's cluster to create the
-			// larger c_new.
-			assign := sys.CategoryConfig().Assignment()
-			for pid, c := range assign {
-				if c == 2 {
-					assign[pid] = 1
-				}
+	// One independent cell per (level, alpha), each over a private
+	// perturbed system; cells run on the Params.Workers pool and are
+	// assembled in a fixed order.
+	levels := Levels01()
+	ys := make([]float64, len(levels)*len(alphas))
+	runIndexed(p.workerCount(), len(ys), func(i int) {
+		x := levels[i/len(alphas)]
+		a := alphas[i%len(alphas)]
+		sys := Build(p, SameCategory)
+		// Merge category 2 into category 1's cluster to create the
+		// larger c_new.
+		assign := sys.CategoryConfig().Assignment()
+		for pid, c := range assign {
+			if c == 2 {
+				assign[pid] = 1
 			}
-			cfg := cluster.FromAssignment(assign)
-			// The subject is the lowest-ID category-0 peer.
-			subject := -1
-			for pid, c := range sys.DataCat {
-				if c == 0 {
-					subject = pid
-					break
-				}
-			}
-			rng := stats.NewRNG(p.Seed ^ 0xc2b2ae3d ^ uint64(x*1e6))
-			sys.RedirectWorkload(subject, 1, x, rng)
-			params := sys.Params
-			params.Alpha = a
-			sys.Params = params
-			eng := sys.NewEngine(cfg)
-			// The subject applies the selfish strategy: move to the
-			// cost-minimizing cluster if it beats staying by more than ε.
-			ev := eng.EvaluateMoves(subject)
-			if ev.Gain() > sys.Params.Epsilon {
-				eng.Move(subject, ev.Best)
-			}
-			ys = append(ys, eng.PeerCost(subject, eng.Config().ClusterOf(subject)))
 		}
-		out.AddPoint(x, ys...)
+		cfg := cluster.FromAssignment(assign)
+		// The subject is the lowest-ID category-0 peer.
+		subject := -1
+		for pid, c := range sys.DataCat {
+			if c == 0 {
+				subject = pid
+				break
+			}
+		}
+		rng := stats.NewRNG(p.Seed ^ 0xc2b2ae3d ^ uint64(x*1e6))
+		sys.RedirectWorkload(subject, 1, x, rng)
+		params := sys.Params
+		params.Alpha = a
+		sys.Params = params
+		eng := sys.NewEngine(cfg)
+		// The subject applies the selfish strategy: move to the
+		// cost-minimizing cluster if it beats staying by more than ε.
+		ev := eng.EvaluateMoves(subject)
+		if ev.Gain() > sys.Params.Epsilon {
+			eng.Move(subject, ev.Best)
+		}
+		ys[i] = eng.PeerCost(subject, eng.Config().ClusterOf(subject))
+	})
+	for li, x := range levels {
+		out.AddPoint(x, ys[li*len(alphas):(li+1)*len(alphas)]...)
 	}
 	return out
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		hits := make([]int32, 37)
+		runIndexed(workers, len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestTable1ParallelMatchesSerial pins the harness's central promise:
+// experiment cells own their RNGs and systems, so the worker count
+// changes wall-clock time only — every cell of the parallel run equals
+// the serial run exactly, floats included.
+func TestTable1ParallelMatchesSerial(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 80
+
+	serial := p
+	serial.Workers = 1
+	parallel := p
+	parallel.Workers = 4
+
+	a := RunTable1(serial)
+	b := RunTable1(parallel)
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d differs:\nserial:   %+v\nparallel: %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}
+
+// The figure sweeps build one private system per cell, so they must be
+// order-independent too.
+func TestFig2ParallelMatchesSerial(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 40
+
+	serial := p
+	serial.Workers = 1
+	parallel := p
+	parallel.Workers = 4
+
+	a := RunFig2(serial)
+	b := RunFig2(parallel)
+	for _, col := range []string{"selfish", "altruistic", "no-reform"} {
+		if !reflect.DeepEqual(a.UpdatedPeers.Column(col), b.UpdatedPeers.Column(col)) {
+			t.Errorf("fig2 left column %q differs between serial and parallel runs", col)
+		}
+		if !reflect.DeepEqual(a.UpdatedWorkload.Column(col), b.UpdatedWorkload.Column(col)) {
+			t.Errorf("fig2 right column %q differs between serial and parallel runs", col)
+		}
+	}
+}

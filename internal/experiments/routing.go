@@ -21,7 +21,11 @@ func RunRoutingAblation(p Params) *metrics.Table {
 		"probe-clusters", "query-messages", "mean-abs-pcost-error", "final-SCost", "converged")
 
 	budgets := []int{1, 2, 4, 8, 0} // 0 = flood all clusters
-	for _, k := range budgets {
+	// One independent cell per probe budget, each over its own System
+	// (the actor sim exercises the peers' lazy query indexes, so cells
+	// must not share one).
+	for _, r := range p.runRows(len(budgets), func(i int) []string {
+		k := budgets[i]
 		sys := Build(p, SameCategory)
 		rng := stats.NewRNG(p.Seed ^ 0x8ebc6af09c88c6e3)
 		cfg := sys.InitialConfig(InitRandomM, rng)
@@ -52,11 +56,13 @@ func RunRoutingAblation(p Params) *metrics.Table {
 		if k == 0 {
 			label = "all"
 		}
-		t.AddRow(label,
+		return []string{label,
 			metrics.I(observationMsgs),
 			metrics.F(errSum/float64(n), 4),
 			metrics.F(final.SCostNormalized(), 3),
-			metrics.I(boolToInt(rpt.Converged)))
+			metrics.I(boolToInt(rpt.Converged))}
+	}) {
+		t.AddRow(r...)
 	}
 	return t
 }

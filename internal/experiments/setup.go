@@ -2,6 +2,22 @@
 // paper's evaluation (§4) plus the ablations listed in DESIGN.md. Every
 // driver is deterministic given a seed and returns metrics tables or
 // series that cmd/reform renders.
+//
+// # Parallel execution
+//
+// The experiment cells of a driver — one (scenario, init, strategy)
+// run for Table 1, one (level, strategy) point for the figure sweeps —
+// are independent: each owns its RNG (derived from the seed, never
+// from scheduling), its cluster configuration and its cost engine.
+// Drivers therefore fan cells out over a worker pool sized by
+// Params.Workers (default: one worker per CPU) and assemble results in
+// a fixed cell order, so the output is byte-identical for every worker
+// count, including the serial Workers=1 path.
+//
+// Cells that share a built System only read it; System.Warm
+// precomputes the lazily built peer query indexes up front so those
+// reads are race-free. Cells that perturb peer content or workloads
+// (the update experiments) build a private System per cell instead.
 package experiments
 
 import (
@@ -120,6 +136,12 @@ type Params struct {
 	Corpus corpus.Config
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds how many experiment cells run concurrently; 0 (the
+	// default) means one worker per available CPU. Results are
+	// independent of the value — cells are deterministic per seed and
+	// assembled in a fixed order — so Workers only trades wall-clock
+	// time for cores.
+	Workers int
 }
 
 // DefaultParams returns the paper's experimental setting.
@@ -396,7 +418,9 @@ func (s *System) InitialConfig(kind InitKind, rng *stats.RNG) *cluster.Config {
 	case InitRandomM:
 		return randomConfig(n, minInt(s.M, n), rng)
 	case InitFewer:
-		return randomConfig(n, maxInt(2, s.M/2), rng)
+		// Clamp to n: heavily scaled-down systems can have fewer peers
+		// than M/2 natural clusters (cluster IDs must stay below Cmax).
+		return randomConfig(n, minInt(n, maxInt(2, s.M/2)), rng)
 	case InitMore:
 		return randomConfig(n, minInt(n, 2*s.M), rng)
 	}
@@ -431,6 +455,21 @@ func (s *System) CategoryConfig() *cluster.Config {
 		assign[i] = cluster.CID(c)
 	}
 	return cluster.FromAssignment(assign)
+}
+
+// Warm precomputes every peer's query-answering structures (posting
+// lists and result-count caches) for the current workload. Peers build
+// these lazily on first use, which is a data race when several
+// goroutines construct engines over a shared System; drivers that fan
+// cells out over shared systems call Warm once beforehand, after which
+// concurrent engine builds only read. Warm does not change any result.
+func (s *System) Warm() {
+	nq := s.WL.NumQueries()
+	for _, pr := range s.Peers {
+		for q := 0; q < nq; q++ {
+			pr.ResultCount(s.WL.Query(workload.QID(q)))
+		}
+	}
 }
 
 // NewEngine wires the system to a fresh core engine over cfg.

@@ -34,36 +34,53 @@ type Table1Result struct {
 // data/query scenarios, four initial configurations, selfish and
 // altruistic relocation, reporting rounds to equilibrium, final cluster
 // count and both normalized cost measures.
+//
+// The 24 cells are independent — each derives its initial
+// configuration from (seed, scenario, init) alone and runs its own
+// engine over a shared, read-only System — so they execute on the
+// Params.Workers pool. The cell order of the result is fixed and
+// identical for every worker count.
 func RunTable1(p Params) *Table1Result {
-	res := &Table1Result{}
-	for _, sc := range []Scenario{SameCategory, DifferentCategory, Uniform} {
-		sys := Build(p, sc)
-		for _, init := range []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore} {
-			for _, strat := range []core.Strategy{core.NewSelfish(), core.NewAltruistic()} {
-				// The initial configuration must be identical across
-				// strategies: derive its RNG from (seed, scenario, init)
-				// only.
-				rng := stats.NewRNG(p.Seed ^ uint64(sc)<<8 ^ uint64(init)<<16 ^ 0x517cc1b727220a95)
-				cfg := sys.InitialConfig(init, rng)
-				eng := sys.NewEngine(cfg)
-				runner := sys.NewRunner(eng, strat, true)
-				rpt := runner.Run()
-				nash, _ := eng.IsNash(p.Epsilon)
-				res.Cells = append(res.Cells, Table1Cell{
-					Scenario:  sc,
-					Init:      init,
-					Strategy:  strat.Name(),
-					Converged: rpt.Converged,
-					Rounds:    rpt.EffectiveRounds(),
-					Clusters:  rpt.FinalClusters,
-					SCost:     rpt.FinalSCost,
-					WCost:     rpt.FinalWCost,
-					Nash:      nash,
-				})
-			}
-		}
+	scenarios := []Scenario{SameCategory, DifferentCategory, Uniform}
+	inits := []InitKind{InitSingletons, InitRandomM, InitFewer, InitMore}
+	strategies := []func() core.Strategy{
+		func() core.Strategy { return core.NewSelfish() },
+		func() core.Strategy { return core.NewAltruistic() },
 	}
-	return res
+	workers := p.workerCount()
+
+	// One System per scenario, shared read-only by its 8 cells; warm
+	// the lazy peer indexes before fanning out concurrent engine builds.
+	systems := buildSystems(p, scenarios, workers)
+
+	perScenario := len(inits) * len(strategies)
+	cells := make([]Table1Cell, len(scenarios)*perScenario)
+	runIndexed(workers, len(cells), func(i int) {
+		sc := scenarios[i/perScenario]
+		init := inits[(i%perScenario)/len(strategies)]
+		strat := strategies[i%len(strategies)]()
+		sys := systems[i/perScenario]
+		// The initial configuration must be identical across
+		// strategies: derive its RNG from (seed, scenario, init) only.
+		rng := stats.NewRNG(p.Seed ^ uint64(sc)<<8 ^ uint64(init)<<16 ^ 0x517cc1b727220a95)
+		cfg := sys.InitialConfig(init, rng)
+		eng := sys.NewEngine(cfg)
+		runner := sys.NewRunner(eng, strat, true)
+		rpt := runner.Run()
+		nash, _ := eng.IsNash(p.Epsilon)
+		cells[i] = Table1Cell{
+			Scenario:  sc,
+			Init:      init,
+			Strategy:  strat.Name(),
+			Converged: rpt.Converged,
+			Rounds:    rpt.EffectiveRounds(),
+			Clusters:  rpt.FinalClusters,
+			SCost:     rpt.FinalSCost,
+			WCost:     rpt.FinalWCost,
+			Nash:      nash,
+		}
+	})
+	return &Table1Result{Cells: cells}
 }
 
 // Table renders the result in the paper's layout: one row per

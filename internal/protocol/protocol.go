@@ -16,7 +16,7 @@ package protocol
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -90,7 +90,10 @@ func DefaultOptions() Options {
 	return Options{Epsilon: 0.001, MaxRounds: 300, AllowNewClusters: true}
 }
 
-// Runner drives the reformulation protocol over a core engine.
+// Runner drives the reformulation protocol over a core engine. It owns
+// reusable per-round scratch (request list, lock tables, non-empty
+// cluster list), so steady-state rounds allocate only their report
+// data. A Runner, like its engine, is not safe for concurrent use.
 type Runner struct {
 	eng      *core.Engine
 	strategy core.Strategy
@@ -100,6 +103,12 @@ type Runner struct {
 	// period; the drift rule for new-cluster creation compares against
 	// it.
 	baseline []float64
+
+	// Per-round scratch, reused across rounds.
+	requests    []Request
+	nonEmpty    []cluster.CID
+	joinLocked  []bool
+	leaveLocked []bool
 }
 
 // NewRunner creates a protocol runner. Options zero values are replaced
@@ -123,34 +132,14 @@ func (r *Runner) Engine() *core.Engine { return r.eng }
 // with single rounds.
 func (r *Runner) BeginPeriod() {
 	n := r.eng.NumPeers()
-	r.baseline = make([]float64, n)
+	if cap(r.baseline) < n {
+		r.baseline = make([]float64, n)
+	}
+	r.baseline = r.baseline[:n]
 	cfg := r.eng.Config()
 	for p := 0; p < n; p++ {
 		r.baseline[p] = r.eng.PeerCost(p, cfg.ClusterOf(p))
 	}
-}
-
-// locks tracks the per-round lock rule state.
-type locks struct {
-	joinLocked  map[cluster.CID]bool // no more joins allowed
-	leaveLocked map[cluster.CID]bool // no more leaves allowed
-}
-
-func newLocks() *locks {
-	return &locks{joinLocked: map[cluster.CID]bool{}, leaveLocked: map[cluster.CID]bool{}}
-}
-
-// allows reports whether a move from->to violates the lock rule.
-func (l *locks) allows(from, to cluster.CID) bool {
-	return !l.leaveLocked[from] && !l.joinLocked[to]
-}
-
-// grant records the locks induced by serving a move from->to: no more
-// joins to `from` (direction leave) and no more leaves from `to`
-// (direction join).
-func (l *locks) grant(from, to cluster.CID) {
-	l.joinLocked[from] = true
-	l.leaveLocked[to] = true
 }
 
 // RunRound executes one two-phase round and returns its report.
@@ -160,12 +149,20 @@ func (r *Runner) RunRound(round int) RoundReport {
 	}
 	rep := RoundReport{Round: round}
 	cfg := r.eng.Config()
+	if cmax := cfg.Cmax(); len(r.joinLocked) < cmax {
+		r.joinLocked = make([]bool, cmax)
+		r.leaveLocked = make([]bool, cmax)
+	}
 
 	// Phase 1: gather at most one request per non-empty cluster.
-	nonEmpty := cfg.NonEmpty()
-	var requests []Request
+	r.nonEmpty = cfg.AppendNonEmpty(r.nonEmpty[:0])
+	nonEmpty := r.nonEmpty
+	requests := r.requests[:0]
 	for _, c := range nonEmpty {
-		members := cfg.Members(c)
+		// Membership order does not matter: Decide has no side effects
+		// and the best request is selected under the total order
+		// (gain desc, peer asc).
+		members := cfg.MembersUnsorted(c)
 		// Each member reports its gain to the representative: one
 		// message per non-representative member.
 		rep.Messages += len(members) - 1
@@ -187,6 +184,7 @@ func (r *Runner) RunRound(round int) RoundReport {
 			requests = append(requests, best)
 		}
 	}
+	r.requests = requests
 	// Every representative broadcasts to all others — either its
 	// cluster's request or a bare cid message.
 	if len(nonEmpty) > 1 {
@@ -195,14 +193,17 @@ func (r *Runner) RunRound(round int) RoundReport {
 	rep.Requests = len(requests)
 
 	// Phase 2: serve requests in decreasing gain order under the lock
-	// rule. Ties break by peer ID for determinism.
-	sort.Slice(requests, func(i, j int) bool {
-		if requests[i].Gain != requests[j].Gain {
-			return requests[i].Gain > requests[j].Gain
+	// rule. Ties break by peer ID for determinism (the order is total:
+	// a peer issues at most one request).
+	slices.SortFunc(requests, func(a, b Request) int {
+		switch {
+		case a.Gain > b.Gain:
+			return -1
+		case a.Gain < b.Gain:
+			return 1
 		}
-		return requests[i].Peer < requests[j].Peer
+		return a.Peer - b.Peer
 	})
-	lk := newLocks()
 	for _, req := range requests {
 		to := req.To
 		if req.NewCluster {
@@ -212,15 +213,24 @@ func (r *Runner) RunRound(round int) RoundReport {
 			}
 			to = slot
 		}
-		if !lk.allows(req.From, to) {
+		if r.leaveLocked[req.From] || r.joinLocked[to] {
 			continue
 		}
 		// The two involved representatives coordinate the move.
 		rep.Messages += 2
 		r.eng.Move(req.Peer, to)
-		lk.grant(req.From, to)
+		// Granting a move from->to locks both ends: no more joins to
+		// `from` (direction leave) and no more leaves from `to`
+		// (direction join).
+		r.joinLocked[req.From] = true
+		r.leaveLocked[to] = true
 		req.To = to
 		rep.Moves = append(rep.Moves, req)
+	}
+	// Reset the lock tables; only granted moves set entries.
+	for _, m := range rep.Moves {
+		r.joinLocked[m.From] = false
+		r.leaveLocked[m.To] = false
 	}
 	rep.Granted = len(rep.Moves)
 	rep.SCost = r.eng.SCostNormalized()
