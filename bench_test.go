@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/peer"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -247,6 +248,33 @@ func BenchmarkSCost(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = eng.SCostNormalized()
+	}
+}
+
+func BenchmarkAddRemovePeer(b *testing.B) {
+	// One full churn event (join + leave) through the incremental
+	// membership path; contrast with BenchmarkEngineRebuild, the price
+	// the pre-membership engine paid per churn event.
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	eng := sys.NewEngine(sys.CategoryConfig())
+	items, queries, counts := sys.NewcomerMaterials(0, 0, 0, stats.NewRNG(6))
+	pr := peer.New(-1)
+	pr.SetItems(items)
+	id := eng.AddPeer(pr, queries, counts, cluster.None) // warm indexes/capacities
+	eng.RemovePeer(id)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := eng.AddPeer(pr, queries, counts, cluster.None)
+		eng.RemovePeer(id)
+	}
+}
+
+func BenchmarkFlashCrowd(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.RunFlashCrowd(p, []int{10})
 	}
 }
 

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/peer"
 	"repro/internal/stats"
 )
 
@@ -30,14 +33,29 @@ type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// gatedBenchmarks are the pinned hot-path benchmarks the regression
+// gate compares: a fresh run whose ns/op exceeds the baseline by more
+// than benchRegressionTolerance — or whose allocs/op grew at all —
+// fails the gate. Macrobenchmarks (Table1*) are tracked but not gated:
+// their wall-clock depends on CI core counts.
+var gatedBenchmarks = []string{
+	"EvaluateMoves", "EvaluateContribution", "PeerCost", "Move", "SCost", "AddRemovePeer",
+}
+
+// benchRegressionTolerance is the allowed ns/op growth factor.
+const benchRegressionTolerance = 1.25
+
 // runBenchCommand implements `reform bench`: it runs the cost-engine
 // microbenchmarks and the Table 1 macrobenchmark through
 // testing.Benchmark and writes the results as JSON, for CI to archive
-// and compare across commits.
+// and compare across commits. With -baseline it additionally diffs
+// the fresh results against a stored report and exits nonzero on a
+// hot-path regression — the same comparator the CI gate runs.
 func runBenchCommand(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("o", "BENCH.json", "output path; - writes to stdout")
 	scale := fs.Int("scale", 4, "shrink factor for the benchmark system (matches bench_test.go at 4)")
+	baseline := fs.String("baseline", "", "baseline BENCH.json to diff against; >25% ns/op or any allocs/op growth on the pinned hot paths fails")
 	fs.Parse(args)
 
 	p := experiments.DefaultParams().Scaled(*scale)
@@ -97,6 +115,21 @@ func runBenchCommand(args []string) {
 			eng.Rebuild()
 		}
 	})
+	record("AddRemovePeer", func(b *testing.B) {
+		// One churn event (join + leave) on the incremental membership
+		// path; compare with Rebuild, the old per-churn price.
+		b.ReportAllocs()
+		items, queries, counts := sys.NewcomerMaterials(0, 0, 0, stats.NewRNG(6))
+		pr := peer.New(-1)
+		pr.SetItems(items)
+		id := eng.AddPeer(pr, queries, counts, cluster.None)
+		eng.RemovePeer(id)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := eng.AddPeer(pr, queries, counts, cluster.None)
+			eng.RemovePeer(id)
+		}
+	})
 	record("Table1Serial", func(b *testing.B) {
 		b.ReportAllocs()
 		pp := p
@@ -122,11 +155,81 @@ func runBenchCommand(args []string) {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench: write:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		// The gate table goes to stderr so `-o -` keeps stdout pure JSON.
+		if err := compareBaseline(*baseline, report, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+// compareBaseline diffs the fresh report against a stored baseline
+// over the pinned hot-path benchmarks and returns an error when any
+// regresses (ns/op beyond the tolerance, or allocs/op growth — allocs
+// are deterministic, so any increase is a real regression). Names
+// present on only one side are reported but never gated, so adding a
+// benchmark does not require regenerating every baseline first.
+func compareBaseline(path string, fresh benchReport, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	index := func(r benchReport) map[string]benchResult {
+		m := make(map[string]benchResult, len(r.Benchmarks))
+		for _, b := range r.Benchmarks {
+			m[b.Name] = b
+		}
+		return m
+	}
+	bm, fm := index(base), index(fresh)
+
+	var failures []string
+	fmt.Fprintf(w, "bench gate vs %s (tolerance %.0f%% ns/op, 0 allocs/op growth):\n",
+		path, (benchRegressionTolerance-1)*100)
+	for _, name := range gatedBenchmarks {
+		b, okB := bm[name]
+		f, okF := fm[name]
+		switch {
+		case !okB:
+			fmt.Fprintf(w, "  %-22s not in baseline (skipped)\n", name)
+			continue
+		case !okF:
+			fmt.Fprintf(w, "  %-22s not in fresh run (skipped)\n", name)
+			continue
+		}
+		var verdicts []string
+		if f.NsPerOp > b.NsPerOp*benchRegressionTolerance {
+			verdicts = append(verdicts, "NS/OP REGRESSION")
+			failures = append(failures, fmt.Sprintf("%s ns/op %.1f -> %.1f (%.0f%%)",
+				name, b.NsPerOp, f.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1)))
+		}
+		if f.AllocsPerOp > b.AllocsPerOp {
+			verdicts = append(verdicts, "ALLOCS REGRESSION")
+			failures = append(failures, fmt.Sprintf("%s allocs/op %d -> %d",
+				name, b.AllocsPerOp, f.AllocsPerOp))
+		}
+		verdict := "ok"
+		if len(verdicts) > 0 {
+			verdict = strings.Join(verdicts, " + ")
+		}
+		fmt.Fprintf(w, "  %-22s ns/op %10.1f -> %10.1f  allocs/op %d -> %d  %s\n",
+			name, b.NsPerOp, f.NsPerOp, b.AllocsPerOp, f.AllocsPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression gate failed: %v", failures)
+	}
+	return nil
 }

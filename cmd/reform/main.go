@@ -1,23 +1,31 @@
-// Command reform regenerates the paper's evaluation: every table and
-// figure of §4 plus the ablations and extensions listed in DESIGN.md.
+// Command reform regenerates the paper's evaluation — every table and
+// figure of §4 plus the ablations and extensions listed in DESIGN.md —
+// and runs the overlay as an online daemon.
 //
 // Usage:
 //
-//	reform -exp table1            # one experiment
-//	reform -exp all               # the whole evaluation
-//	reform -exp fig2 -seed 7 -csv # CSV output for plotting
-//	reform -workers 8 -exp all    # bound the experiment worker pool
-//	reform bench -o BENCH.json    # machine-readable microbenchmarks
+//	reform -exp table1             # one experiment
+//	reform -exp all                # the whole evaluation
+//	reform -exp fig2 -seed 7 -csv  # CSV output for plotting
+//	reform -workers 8 -exp all     # bound the experiment worker pool
+//	reform bench -o BENCH.json     # machine-readable microbenchmarks
+//	reform bench -baseline B.json  # fail on hot-path regressions vs B.json
+//	reform serve -addr :8080       # long-running join/leave/query daemon
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
-// churn, lookup, all.
+// churn, flashcrowd, lookup, routing, multicluster, all.
 //
 // Experiment cells run on a worker pool (default: one per CPU; see
 // -workers). Outputs are deterministic per seed for every worker
 // count. The bench subcommand emits ns/op and allocs/op for the
 // cost-engine hot paths as BENCH.json, tracking the performance
-// trajectory across commits.
+// trajectory across commits; with -baseline it compares against a
+// committed BENCH_BASELINE.json and exits nonzero on regression (the
+// same gate CI runs). The serve subcommand exposes the overlay over
+// HTTP: POST /peers (join), DELETE /peers/{id} (leave), POST /query,
+// GET /stats and GET /snapshot, with reformulation on a ticker and
+// snapshot/restore across restarts.
 package main
 
 import (
@@ -32,9 +40,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		runBenchCommand(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "bench":
+			runBenchCommand(os.Args[2:])
+			return
+		case "serve":
+			runServeCommand(os.Args[2:])
+			return
+		}
 	}
 	exp := flag.String("exp", "all", "experiment to run (see package doc; 'all' runs everything)")
 	seed := flag.Uint64("seed", 1, "random seed; every experiment is deterministic per seed")
@@ -67,6 +81,7 @@ func main() {
 		"baseline":       func() { out.table(experiments.RunBaselineComparison(p)) },
 		"discovery":      func() { out.table(experiments.RunKMeansDiscovery(p)) },
 		"churn":          func() { out.series(experiments.RunChurn(p, 10, 0.05)) },
+		"flashcrowd":     func() { out.table(experiments.RunFlashCrowd(p, nil)) },
 		"lookup":         func() { out.table(experiments.RunLookupCost(p)) },
 		"routing":        func() { out.table(experiments.RunRoutingAblation(p)) },
 		"multicluster":   func() { out.table(experiments.RunMultiClusterAnalysis(p, 4)) },
@@ -74,8 +89,8 @@ func main() {
 	order := []string{
 		"table1", "fig1", "fig2", "fig3", "fig4", "counterexample",
 		"theta", "epsilon", "hybrid", "paired", "clgain", "shared",
-		"async", "baseline", "discovery", "churn", "lookup",
-		"routing", "multicluster",
+		"async", "baseline", "discovery", "churn", "flashcrowd",
+		"lookup", "routing", "multicluster",
 	}
 
 	name := strings.ToLower(*exp)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// runServeCommand implements `reform serve`: the overlay as an
+// always-on HTTP daemon with ticker-driven reformulation, dynamic
+// membership and snapshot-based restarts.
+func runServeCommand(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	alpha := fs.Float64("alpha", 1, "membership-cost weight α")
+	epsilon := fs.Float64("epsilon", 0.001, "reformulation gain threshold ε")
+	maxRounds := fs.Int("max-rounds", 300, "rounds per maintenance period")
+	reformEvery := fs.Duration("reform", 30*time.Second, "maintenance period length (0 disables the ticker)")
+	snapshot := fs.String("snapshot", "", "snapshot file; loaded at startup when present, written periodically and on shutdown")
+	snapshotEvery := fs.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (needs -snapshot)")
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "reform-serve ", log.LstdFlags)
+	// service.Config treats zero values as "use the paper default", so
+	// an explicit -alpha 0 or -epsilon 0 would silently become 1 and
+	// 0.001. Refuse it loudly rather than misconfigure.
+	fs.Visit(func(f *flag.Flag) {
+		if (f.Name == "alpha" && *alpha == 0) || (f.Name == "epsilon" && *epsilon == 0) {
+			logger.Fatalf("-%s 0 is not supported (0 selects the default); pass a positive value", f.Name)
+		}
+	})
+	cfg := service.Config{
+		Alpha:         *alpha,
+		Epsilon:       *epsilon,
+		MaxRounds:     *maxRounds,
+		ReformEvery:   *reformEvery,
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
+		Logf:          logger.Printf,
+	}
+
+	var srv *service.Server
+	if *snapshot != "" {
+		if snap, err := service.LoadSnapshot(*snapshot); err == nil {
+			restored, rerr := service.NewFromSnapshot(cfg, snap)
+			if rerr != nil {
+				logger.Fatalf("restore %s: %v", *snapshot, rerr)
+			}
+			srv = restored
+			logger.Printf("restored %d peers from %s", len(snap.Peers), *snapshot)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			logger.Fatalf("load %s: %v", *snapshot, err)
+		}
+	}
+	if srv == nil {
+		srv = service.New(cfg)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		logger.Printf("listening on %s (reform every %s)", *addr, *reformEvery)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("listen: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	logger.Printf("shutting down")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		logger.Printf("final snapshot: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "reform-serve: stopped")
+}

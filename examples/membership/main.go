@@ -1,0 +1,42 @@
+// Command membership demonstrates dynamic membership: peers join and
+// leave a live system through the incremental cost-engine path (no
+// rebuilds), with periodic selfish reformulation absorbing the churn.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	sys := reform.New(reform.Options{
+		Peers:               60,
+		Categories:          6,
+		StartFromCategories: true,
+		AllowNewClusters:    true,
+		Seed:                42,
+	})
+	sys.Run()
+	fmt.Printf("settled: %d peers, %d clusters, social cost %.4f\n",
+		sys.NumPeers(), sys.NumClusters(), sys.SocialCost())
+
+	// A flash crowd of newcomers interested in category 0 arrives.
+	var crowd []int
+	for i := 0; i < 12; i++ {
+		crowd = append(crowd, sys.Join(0))
+	}
+	fmt.Printf("after burst join: %d peers, %d clusters, social cost %.4f\n",
+		sys.NumPeers(), sys.NumClusters(), sys.SocialCost())
+	sys.Run()
+	fmt.Printf("absorbed:         %d peers, %d clusters, social cost %.4f\n",
+		sys.NumPeers(), sys.NumClusters(), sys.SocialCost())
+
+	// The crowd departs again; reformulation restores the overlay.
+	for _, pid := range crowd {
+		sys.Leave(pid)
+	}
+	sys.Run()
+	fmt.Printf("recovered:        %d peers, %d clusters, social cost %.4f\n",
+		sys.NumPeers(), sys.NumClusters(), sys.SocialCost())
+}

@@ -3,7 +3,6 @@ package attr
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // Set is an immutable, sorted, duplicate-free collection of attribute
@@ -155,26 +154,23 @@ func (s Set) Diff(t Set) Set {
 	return Set{ids: out}
 }
 
-// Key returns a canonical string usable as a map key identifying the
-// set's contents (e.g. for query deduplication).
-func (s Set) Key() string {
-	if len(s.ids) == 0 {
-		return ""
-	}
-	var b strings.Builder
+// AppendKey appends the canonical key of s (the same bytes Key
+// returns) to dst and returns the extended slice. Callers that only
+// need a transient key for a map lookup use it with a reused scratch
+// buffer to avoid allocating a string per probe.
+func (s Set) AppendKey(dst []byte) []byte {
 	for i, id := range s.ids {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		// Manual base-10 to avoid fmt in a hot path.
-		writeInt(&b, int64(id))
+		dst = appendInt(dst, int64(id))
 	}
-	return b.String()
+	return dst
 }
 
-func writeInt(b *strings.Builder, v int64) {
+func appendInt(dst []byte, v int64) []byte {
 	if v < 0 {
-		b.WriteByte('-')
+		dst = append(dst, '-')
 		v = -v
 	}
 	var buf [20]byte
@@ -187,7 +183,18 @@ func writeInt(b *strings.Builder, v int64) {
 			break
 		}
 	}
-	b.Write(buf[i:])
+	return append(dst, buf[i:]...)
+}
+
+// Key returns a canonical string usable as a map key identifying the
+// set's contents (e.g. for query deduplication). It is AppendKey's
+// bytes — a single format shared by both paths, so interning and
+// lookup can never diverge.
+func (s Set) Key() string {
+	if len(s.ids) == 0 {
+		return ""
+	}
+	return string(s.AppendKey(nil))
 }
 
 // String renders the set for debugging as {1,5,9}.

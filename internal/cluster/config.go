@@ -16,10 +16,18 @@ const None CID = -1
 // Config is a complete cluster configuration: the strategy profile
 // S = {s_1, ..., s_|P|} restricted to single-cluster strategies
 // (§2.3). It supports O(1) moves, membership queries and size lookups.
+//
+// Peer entries are slots: a slot whose assignment is None holds no
+// peer (it either never joined or has departed). AddSlot, Place and
+// Unplace realize dynamic membership; Live counts the occupied slots.
+// Every structural change bumps an internal version counter that cost
+// engines use to detect configurations mutated behind their back.
 type Config struct {
-	assign  []CID   // peer -> cluster
+	assign  []CID   // peer slot -> cluster (None = unoccupied slot)
 	members [][]int // cid -> member peer IDs (unordered)
-	pos     []int   // peer -> index within members[assign[peer]]
+	pos     []int   // peer -> index within members[assign[peer]] (-1 when unplaced)
+	live    int     // number of slots with assign != None
+	version int     // bumped on every membership mutation
 }
 
 // NewSingletons builds the configuration where each peer forms its own
@@ -33,8 +41,9 @@ func NewSingletons(numPeers int) *Config {
 }
 
 // FromAssignment builds a configuration from a peer->cluster mapping.
-// Cluster IDs must lie in [0, len(assign)); the number of slots Cmax
-// always equals the number of peers.
+// Cluster IDs must lie in [0, len(assign)) or be None (an unoccupied
+// slot); the number of cluster slots Cmax always equals the number of
+// peer slots.
 func FromAssignment(assign []CID) *Config {
 	n := len(assign)
 	c := &Config{
@@ -43,17 +52,82 @@ func FromAssignment(assign []CID) *Config {
 		pos:     make([]int, n),
 	}
 	for p, cid := range c.assign {
+		if cid == None {
+			c.pos[p] = -1
+			continue
+		}
 		if cid < 0 || int(cid) >= n {
 			panic(fmt.Sprintf("cluster: peer %d assigned to invalid cluster %d", p, cid))
 		}
 		c.pos[p] = len(c.members[cid])
 		c.members[cid] = append(c.members[cid], p)
+		c.live++
 	}
 	return c
 }
 
-// NumPeers returns |P|.
+// NumPeers returns the number of peer slots (occupied or not).
 func (c *Config) NumPeers() int { return len(c.assign) }
+
+// Live returns the number of occupied peer slots: the live |P|.
+func (c *Config) Live() int { return c.live }
+
+// IsPlaced reports whether slot p currently holds a peer.
+func (c *Config) IsPlaced(p int) bool { return c.assign[p] != None }
+
+// MembershipVersion increments on every membership mutation (Move,
+// AddSlot, Place, Unplace). Cost engines compare it against the value
+// they last synchronized with to detect external mutation.
+func (c *Config) MembershipVersion() int { return c.version }
+
+// AddSlot appends one unoccupied peer slot — and, to preserve the
+// Cmax = #slots invariant that guarantees a singleton cluster is
+// always available, one empty cluster slot. It returns the new peer
+// slot's ID.
+func (c *Config) AddSlot() int {
+	p := len(c.assign)
+	c.assign = append(c.assign, None)
+	c.pos = append(c.pos, -1)
+	c.members = append(c.members, nil)
+	c.version++
+	return p
+}
+
+// Place puts the peer occupying slot p (which must be unplaced) into
+// cluster cid.
+func (c *Config) Place(p int, cid CID) {
+	if c.assign[p] != None {
+		panic(fmt.Sprintf("cluster: Place peer %d already in cluster %d", p, c.assign[p]))
+	}
+	if cid < 0 || int(cid) >= len(c.members) {
+		panic(fmt.Sprintf("cluster: Place peer %d into invalid cluster %d", p, cid))
+	}
+	c.pos[p] = len(c.members[cid])
+	c.members[cid] = append(c.members[cid], p)
+	c.assign[p] = cid
+	c.live++
+	c.version++
+}
+
+// Unplace removes peer p from its cluster, leaving its slot
+// unoccupied, and returns the cluster it left.
+func (c *Config) Unplace(p int) CID {
+	from := c.assign[p]
+	if from == None {
+		panic(fmt.Sprintf("cluster: Unplace peer %d is not placed", p))
+	}
+	m := c.members[from]
+	i := c.pos[p]
+	last := len(m) - 1
+	m[i] = m[last]
+	c.pos[m[i]] = i
+	c.members[from] = m[:last]
+	c.assign[p] = None
+	c.pos[p] = -1
+	c.live--
+	c.version++
+	return from
+}
 
 // Cmax returns the number of cluster slots (= |P|).
 func (c *Config) Cmax() int { return len(c.members) }
@@ -131,15 +205,20 @@ func (c *Config) EmptyCluster() (CID, bool) {
 }
 
 // Move relocates peer p to cluster to, returning its previous cluster.
-// Moving a peer to its current cluster is a no-op.
+// Moving a peer to its current cluster is a no-op. p must occupy its
+// slot (use Place for unoccupied slots).
 func (c *Config) Move(p int, to CID) CID {
 	from := c.assign[p]
 	if from == to {
 		return from
 	}
+	if from == None {
+		panic(fmt.Sprintf("cluster: move of unplaced peer %d", p))
+	}
 	if to < 0 || int(to) >= len(c.members) {
 		panic(fmt.Sprintf("cluster: move to invalid cluster %d", to))
 	}
+	c.version++
 	// Remove p from its old cluster by swapping with the last member.
 	m := c.members[from]
 	i := c.pos[p]
@@ -160,6 +239,8 @@ func (c *Config) Clone() *Config {
 		assign:  append([]CID(nil), c.assign...),
 		members: make([][]int, len(c.members)),
 		pos:     append([]int(nil), c.pos...),
+		live:    c.live,
+		version: c.version,
 	}
 	for i, m := range c.members {
 		if len(m) > 0 {
@@ -201,6 +282,10 @@ func (c *Config) CanonicalHash() uint64 {
 	canon := make([]CID, len(c.assign))
 	next := CID(0)
 	for p, cid := range c.assign {
+		if cid == None {
+			canon[p] = None
+			continue
+		}
 		nc, ok := relabel[cid]
 		if !ok {
 			nc = next
@@ -246,8 +331,13 @@ func (c *Config) Validate() error {
 			seen++
 		}
 	}
-	if seen != len(c.assign) {
-		return fmt.Errorf("members cover %d peers, want %d", seen, len(c.assign))
+	for p, cid := range c.assign {
+		if cid == None && c.pos[p] != -1 {
+			return fmt.Errorf("unplaced peer %d has pos %d, want -1", p, c.pos[p])
+		}
+	}
+	if seen != c.live {
+		return fmt.Errorf("members cover %d peers, want live count %d", seen, c.live)
 	}
 	return nil
 }

@@ -7,17 +7,24 @@ import (
 
 // SCost returns the social cost (Eq. 2): the sum of the individual
 // costs of all peers under the current configuration. The value is
-// maintained incrementally under Move (membership, demand-weight and
-// cluster-recall sums), so this is an O(1) read, not a rescan.
+// maintained incrementally under Move/AddPeer/RemovePeer (membership,
+// demand-weight and cluster-recall sums), so this is an O(1) read, not
+// a rescan. |P| is the live peer count; an empty system costs 0.
 func (e *Engine) SCost() float64 {
-	return e.alpha*e.membSumRaw/float64(e.n) + e.sumW - e.recallSum
+	if e.cfg.Live() == 0 {
+		return 0
+	}
+	return e.alpha*e.membSumRaw/float64(e.cfg.Live()) + e.sumW - e.recallSum
 }
 
 // SCostNormalized returns SCost/|P| — the mean individual cost, the
 // normalization under which the ideal scenario-1 configuration of the
 // paper scores 0.1 (Table 1).
 func (e *Engine) SCostNormalized() float64 {
-	return e.SCost() / float64(e.n)
+	if e.cfg.Live() == 0 {
+		return 0
+	}
+	return e.SCost() / float64(e.cfg.Live())
 }
 
 // SCostParts splits the social cost into its membership and recall
@@ -47,11 +54,17 @@ func (e *Engine) WCost() float64 {
 // is already a [0,1] frequency-weighted average), matching the
 // normalized values reported in Table 1.
 func (e *Engine) WCostNormalized() float64 {
-	return e.wcostMaintenance()/float64(e.n) + e.wcostRecall()
+	if e.cfg.Live() == 0 {
+		return 0
+	}
+	return e.wcostMaintenance()/float64(e.cfg.Live()) + e.wcostRecall()
 }
 
 func (e *Engine) wcostMaintenance() float64 {
-	return e.alpha * e.membSumRaw / float64(e.n)
+	if e.cfg.Live() == 0 {
+		return 0
+	}
+	return e.alpha * e.membSumRaw / float64(e.cfg.Live())
 }
 
 func (e *Engine) wcostRecall() float64 {
@@ -68,7 +81,7 @@ func (e *Engine) wcostRecall() float64 {
 // content answers no query at all.
 func (e *Engine) Contribution(p int, c cluster.CID) float64 {
 	var num, den float64
-	cm := e.cmax
+	cm := e.stride
 	ci := int(c)
 	for _, re := range e.peerRes[p] {
 		den += e.demandTot[re.qid] * re.res
@@ -101,7 +114,7 @@ func (e *Engine) EvaluateContribution(p int) ContributionEval {
 	nonEmpty := e.nonEmptyScratch()
 	num := e.accScratch
 	var den float64
-	cm := e.cmax
+	cm := e.stride
 	for _, re := range e.peerRes[p] {
 		den += e.demandTot[re.qid] * re.res
 		row := e.clusterDemand[int(re.qid)*cm : int(re.qid)*cm+cm]
@@ -145,7 +158,7 @@ func (e *Engine) DeltaMembership(c cluster.CID) float64 {
 	if s == 0 {
 		return 0
 	}
-	return e.alpha * float64(s) * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.n)
+	return e.alpha * float64(s) * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.cfg.Live())
 }
 
 // DeltaMembershipMarginal is the weaker reading of §3.1.2: only the
@@ -157,7 +170,7 @@ func (e *Engine) DeltaMembershipMarginal(c cluster.CID) float64 {
 	if s == 0 {
 		return 0
 	}
-	return e.alpha * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.n)
+	return e.alpha * (e.theta.F(s+1) - e.theta.F(s)) / float64(e.cfg.Live())
 }
 
 // ClusterRecall returns R(q,c) = Σ_{p∈c} r(q,p): the fraction of all
@@ -165,7 +178,7 @@ func (e *Engine) DeltaMembershipMarginal(c cluster.CID) float64 {
 // recall" measure of §3.1). It returns 0 when the query has no results
 // anywhere.
 func (e *Engine) ClusterRecall(qid workload.QID, c cluster.CID) float64 {
-	return e.clusterRes[int(qid)*e.cmax+int(c)] * e.invTot[qid]
+	return e.clusterRes[int(qid)*e.stride+int(c)] * e.invTot[qid]
 }
 
 // TotalResults returns Σ_p result(q,p) for qid.

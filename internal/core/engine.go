@@ -36,6 +36,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/peer"
 	"repro/internal/workload"
@@ -61,17 +62,30 @@ type wlEntry struct {
 // Engine evaluates all cost measures of the game over a live cluster
 // configuration. Recall and demand aggregates per cluster — and the
 // global social/workload costs — are maintained incrementally under
-// Move; content or workload changes require Rebuild. Engine is not
-// safe for concurrent use (it owns reusable scratch buffers).
+// Move, AddPeer and RemovePeer; content or workload mutations of
+// peers already in the system require Rebuild. Engine is not safe for
+// concurrent use (it owns reusable scratch buffers).
+//
+// # Dynamic membership
+//
+// Peers occupy slots: a departed peer leaves a nil slot behind (kept
+// so IDs stay dense and stable) that the next joiner reuses. n counts
+// slots; the live |P| every per-|P| normalization uses is the
+// configuration's occupied-slot count (cfg.Live()), so it can never
+// drift from the membership state. The flattened aggregates are indexed q*stride+c with
+// stride >= Cmax, so appending peer/cluster slots only re-strides the
+// arrays when the geometrically grown column capacity is exhausted
+// (amortized O(1) per join). See membership.go for the incremental
+// join/leave updates and the inverted content/query indexes they use.
 type Engine struct {
 	peers []*peer.Peer
 	wl    *workload.Workload
 	cfg   *cluster.Config
 	theta cluster.Theta
 	alpha float64
-	n     int
+	n     int // peer slots (len(peers)); the live |P| is cfg.Live()
 	nq    int
-	cmax  int
+	cmax  int // cluster slots (cfg.Cmax(), <= stride)
 
 	// totals[q] = Σ_p result(q,p); zero-result queries carry no recall
 	// cost (r is undefined for them, see DESIGN.md §5.3). invTot[q] is
@@ -89,10 +103,11 @@ type Engine struct {
 	peerW    []float64
 	peerOwnW []float64
 
-	// Flattened [nq*cmax] aggregates, indexed q*cmax+c:
+	// Flattened [nq*stride] aggregates, indexed q*stride+c:
 	//   clusterRes    = Σ_{p∈c} result(q,p)
 	//   clusterDemand = Σ_{p∈c} num(q,Q(p))   (answerable queries only)
 	//   demandW       = Σ_{p∈c} w_p(q)        (answerable queries only)
+	stride        int
 	clusterRes    []float64
 	clusterDemand []float64
 	demandW       []float64
@@ -120,25 +135,56 @@ type Engine struct {
 	accScratch   []float64
 	cidScratch   []cluster.CID
 	multiScratch []cluster.CID
+	attrScratch  []attr.ID
+	qidScratch   []workload.QID
 	qMark        []uint64
 	qEpoch       uint64
 	cidMark      []uint64
 	cidEpoch     uint64
 
-	wlVersion int
+	// Dynamic-membership state (see membership.go): the free-slot
+	// stack, the inverted indexes that make joins proportional to the
+	// joiner's footprint instead of the system size, and how many
+	// workload queries the query index covers. The indexes are built
+	// lazily on the first join/leave and invalidated by Rebuild
+	// (content may have changed under it).
+	free           []int
+	slotGen        []uint32
+	peersByAttr    map[attr.ID][]int32
+	queriesByAttr  map[attr.ID][]workload.QID
+	demanders      [][]int32
+	indexedQueries int
+
+	wlVersion  int
+	cfgVersion int
 }
 
 // New builds an engine over the given peers, workload and initial
 // configuration. The peers slice is indexed by peer ID: peers[i].ID()
-// must equal i.
+// must equal i. A nil entry is an unoccupied slot (a departed peer);
+// it must be unplaced in cfg and carry no workload, and conversely
+// every non-nil peer must be placed. An empty system (no peers) is
+// valid and can be grown entirely through AddPeer.
 func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, theta cluster.Theta, alpha float64) *Engine {
 	if len(peers) != cfg.NumPeers() || len(peers) != wl.NumPeers() {
 		panic(fmt.Sprintf("core: size mismatch peers=%d cfg=%d wl=%d",
 			len(peers), cfg.NumPeers(), wl.NumPeers()))
 	}
 	for i, p := range peers {
+		if p == nil {
+			if cfg.IsPlaced(i) {
+				panic(fmt.Sprintf("core: empty slot %d is placed in cluster %d", i, cfg.ClusterOf(i)))
+			}
+			if wl.PeerTotal(i) != 0 {
+				panic(fmt.Sprintf("core: empty slot %d has workload", i))
+			}
+			continue
+		}
 		if p.ID() != i {
 			panic(fmt.Sprintf("core: peers[%d] has ID %d", i, p.ID()))
+		}
+		if !cfg.IsPlaced(i) {
+			panic(fmt.Sprintf("core: peer %d is not placed in any cluster", i))
 		}
 	}
 	if alpha < 0 {
@@ -170,11 +216,19 @@ func growMarks(s []uint64, n int) []uint64 {
 // Rebuild recomputes every aggregate from scratch, reusing the
 // engine's backing arrays when their capacity allows. Call it after
 // peer content or workload mutations; plain relocations are tracked
-// incrementally by Move.
+// incrementally by Move, and joins/leaves by AddPeer/RemovePeer.
+// Rebuild also invalidates the membership indexes (the mutation that
+// forced it may have changed peer content); the next join/leave
+// rebuilds them.
 func (e *Engine) Rebuild() {
+	if e.n != e.cfg.NumPeers() || e.n != e.wl.NumPeers() || e.n != len(e.peers) {
+		panic(fmt.Sprintf("core: slot mismatch peers=%d cfg=%d wl=%d",
+			len(e.peers), e.cfg.NumPeers(), e.wl.NumPeers()))
+	}
 	nq := e.wl.NumQueries()
 	cmax := e.cfg.Cmax()
 	e.nq, e.cmax = nq, cmax
+	e.stride = cmax
 
 	e.totals = grow(e.totals, nq)
 	e.invTot = grow(e.invTot, nq)
@@ -193,9 +247,23 @@ func (e *Engine) Rebuild() {
 		e.peerW = make([]float64, e.n)
 		e.peerOwnW = make([]float64, e.n)
 	}
+	e.peersByAttr = nil
+	e.queriesByAttr = nil
+	e.demanders = nil
+	e.indexedQueries = 0
+	e.free = e.free[:0]
+	for pid := e.n - 1; pid >= 0; pid-- {
+		if e.peers[pid] == nil {
+			e.free = append(e.free, pid)
+		}
+	}
 
 	// Pass 1: result counts -> totals, peerRes, clusterRes.
 	for pid, p := range e.peers {
+		if p == nil {
+			e.peerRes[pid] = e.peerRes[pid][:0]
+			continue
+		}
 		cid := int(e.cfg.ClusterOf(pid))
 		pr := e.peerRes[pid][:0]
 		for q := 0; q < nq; q++ {
@@ -221,7 +289,12 @@ func (e *Engine) Rebuild() {
 
 	// Pass 2: precompute per-peer recall weights over answerable
 	// queries and accumulate the cluster demand aggregates.
-	for pid := range e.peers {
+	for pid, p := range e.peers {
+		if p == nil {
+			e.peerWl[pid] = e.peerWl[pid][:0]
+			e.peerW[pid], e.peerOwnW[pid] = 0, 0
+			continue
+		}
 		cid := int(e.cfg.ClusterOf(pid))
 		tot := float64(e.wl.PeerTotal(pid))
 		pw := e.peerWl[pid][:0]
@@ -291,6 +364,7 @@ func (e *Engine) Rebuild() {
 	}
 
 	e.wlVersion = e.wl.Version()
+	e.cfgVersion = e.cfg.MembershipVersion()
 }
 
 // moveRecallTerms adds sign times the recall-sum terms of query q in
@@ -303,8 +377,12 @@ func (e *Engine) moveRecallTerms(iF, iT int, it, sign float64) {
 // Move relocates peer p to cluster `to`, updating all incremental
 // aggregates — including the global social/workload cost state — in
 // time proportional to p's workload and result lists. It returns the
-// previous cluster. Move allocates nothing at steady state.
+// previous cluster. Move allocates nothing at steady state. Like
+// AddPeer/RemovePeer it refuses to run on a stale engine: syncing the
+// version counters at exit would otherwise mask the external mutation
+// that made the aggregates wrong.
 func (e *Engine) Move(p int, to cluster.CID) cluster.CID {
+	e.mustBeFresh("Move")
 	from := e.cfg.ClusterOf(p)
 	if from == to {
 		return from
@@ -320,8 +398,9 @@ func (e *Engine) Move(p int, to cluster.CID) cluster.CID {
 	}
 	e.membSumRaw += float64(st+1) * e.theta.F(st+1)
 	e.cfg.Move(p, to)
+	e.cfgVersion = e.cfg.MembershipVersion()
 
-	cm := e.cmax
+	cm := e.stride
 	fo, t := int(from), int(to)
 	pw := e.peerWl[p]
 	pr := e.peerRes[p]
@@ -381,8 +460,27 @@ func (e *Engine) Workload() *workload.Workload { return e.wl }
 // Peers returns the peer slice (shared, do not reorder).
 func (e *Engine) Peers() []*peer.Peer { return e.peers }
 
-// NumPeers returns |P|.
-func (e *Engine) NumPeers() int { return e.n }
+// NumPeers returns the live |P|: the number of peers currently in the
+// system. Use NumSlots for the slot range to iterate over.
+func (e *Engine) NumPeers() int { return e.cfg.Live() }
+
+// NumSlots returns the number of peer slots, live or vacated. Peer IDs
+// lie in [0, NumSlots()); use IsLive to skip vacated slots.
+func (e *Engine) NumSlots() int { return e.n }
+
+// IsLive reports whether slot p currently holds a peer.
+func (e *Engine) IsLive(p int) bool { return e.peers[p] != nil }
+
+// SlotGeneration counts how many joins slot p has hosted. Consumers
+// that cache per-peer state across membership changes (the protocol's
+// period baseline) compare generations to tell a reused slot's
+// newcomer from the peer they sampled.
+func (e *Engine) SlotGeneration(p int) uint32 {
+	if p >= len(e.slotGen) {
+		return 0
+	}
+	return e.slotGen[p]
+}
 
 // Alpha returns the membership-cost weight α.
 func (e *Engine) Alpha() float64 { return e.alpha }
@@ -400,13 +498,30 @@ func (e *Engine) SetAlpha(a float64) {
 // Theta returns the cluster participation cost function.
 func (e *Engine) Theta() cluster.Theta { return e.theta }
 
-// Stale reports whether the workload changed since the last Rebuild.
-func (e *Engine) Stale() bool { return e.wl.Version() != e.wlVersion }
+// Stale reports whether the engine's incremental state may no longer
+// match its inputs: the workload changed, or the configuration's
+// membership was mutated (a move, join or leave) behind the engine's
+// back. Mutations applied through the engine itself (Move, AddPeer,
+// RemovePeer) keep it fresh; anything else requires Rebuild before
+// the engine may serve costs again.
+func (e *Engine) Stale() bool {
+	return e.wl.Version() != e.wlVersion || e.cfg.MembershipVersion() != e.cfgVersion
+}
+
+// mustBeFresh panics when the engine is stale: the incremental
+// mutators sync the version counters on exit, so running them over a
+// stale engine would silently launder the external mutation instead
+// of surfacing it.
+func (e *Engine) mustBeFresh(op string) {
+	if e.Stale() {
+		panic(fmt.Sprintf("core: %s on a stale engine (workload or membership mutated externally); Rebuild first", op))
+	}
+}
 
 // membership returns the first term of Eq. 1 for a cluster of the given
-// size: α·θ(size)/|P|.
+// size: α·θ(size)/|P|, with |P| the live peer count.
 func (e *Engine) membership(size int) float64 {
-	return e.alpha * e.theta.F(size) / float64(e.n)
+	return e.alpha * e.theta.F(size) / float64(e.cfg.Live())
 }
 
 // ownRecall returns Σ_q w(q)·r(q,p): the recall p supplies to its own
@@ -429,7 +544,7 @@ func (e *Engine) nonEmptyScratch() []cluster.CID {
 func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
 	cur := e.cfg.ClusterOf(p)
 	size := e.cfg.Size(c)
-	cm := e.cmax
+	cm := e.stride
 	ci := int(c)
 	if c == cur {
 		cost := e.membership(size)
@@ -492,7 +607,7 @@ func (e *Engine) PeerCostMulti(p int, s []cluster.CID) float64 {
 	for i := range pr {
 		own[pr[i].qid] = pr[i].res
 	}
-	cm := e.cmax
+	cm := e.stride
 	for _, en := range e.peerWl[p] {
 		q := int(en.qid)
 		var in float64
@@ -541,7 +656,7 @@ func (e *Engine) EvaluateMoves(p int) MoveEval {
 
 	// acc[c] accumulates Σ_q w·clusterRes[q][c]/totals[q].
 	acc := e.accScratch
-	cm := e.cmax
+	cm := e.stride
 	for _, en := range e.peerWl[p] {
 		row := e.clusterRes[int(en.qid)*cm : int(en.qid)*cm+cm]
 		wit := en.wInvT

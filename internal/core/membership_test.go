@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// membershipTolerance bounds the drift the incremental join/leave
+// updates may accumulate against a from-scratch Rebuild.
+const membershipTolerance = 1e-9
+
+// testAttrIDs re-derives the attribute IDs testSystem interned, so
+// membership tests can mint joiner content over the same vocabulary.
+func testAttrIDs(v int) []attr.ID {
+	vocab := attr.NewVocab()
+	ids := make([]attr.ID, v)
+	for i := range ids {
+		ids[i] = vocab.Intern(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	return ids
+}
+
+// randomJoiner mints a fresh peer plus workload over the given
+// attribute universe: 1-3 items of two attributes each and 1-3
+// single-attribute queries.
+func randomJoiner(ids []attr.ID, rng *stats.RNG) (*peer.Peer, []attr.Set, []int) {
+	pr := peer.New(-1)
+	items := make([]attr.Set, 0, 3)
+	for d := 0; d <= rng.Intn(3); d++ {
+		items = append(items, attr.NewSet(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+	}
+	pr.SetItems(items)
+	var queries []attr.Set
+	var counts []int
+	for q := 0; q <= rng.Intn(3); q++ {
+		queries = append(queries, attr.NewSet(ids[rng.Intn(len(ids))]))
+		counts = append(counts, 1+rng.Intn(4))
+	}
+	return pr, queries, counts
+}
+
+// checkAgainstRebuild compares the incrementally maintained engine
+// against a fresh engine built over clones of the same population.
+func checkAgainstRebuild(t *testing.T, e *Engine, step string) {
+	t.Helper()
+	if e.Stale() {
+		t.Fatalf("%s: engine stale after its own mutation", step)
+	}
+	if err := e.Config().Validate(); err != nil {
+		t.Fatalf("%s: config invalid: %v", step, err)
+	}
+	if err := e.Workload().Validate(); err != nil {
+		t.Fatalf("%s: workload invalid: %v", step, err)
+	}
+	peersCopy := append([]*peer.Peer(nil), e.Peers()...)
+	fresh := New(peersCopy, e.Workload(), e.Config().Clone(), e.Theta(), e.Alpha())
+
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= membershipTolerance
+	}
+	if !close(e.SCost(), fresh.SCost()) {
+		t.Fatalf("%s: SCost %g want %g (Δ=%g)", step, e.SCost(), fresh.SCost(), e.SCost()-fresh.SCost())
+	}
+	if !close(e.WCost(), fresh.WCost()) {
+		t.Fatalf("%s: WCost %g want %g", step, e.WCost(), fresh.WCost())
+	}
+	if e.NumPeers() != fresh.NumPeers() {
+		t.Fatalf("%s: live %d want %d", step, e.NumPeers(), fresh.NumPeers())
+	}
+	nonEmpty := e.Config().NonEmpty()
+	for p := 0; p < e.NumSlots(); p++ {
+		if !e.IsLive(p) {
+			continue
+		}
+		if !close(e.CostAlone(p), fresh.CostAlone(p)) {
+			t.Fatalf("%s: CostAlone(%d) %g want %g", step, p, e.CostAlone(p), fresh.CostAlone(p))
+		}
+		for _, c := range nonEmpty {
+			if got, want := e.PeerCost(p, c), fresh.PeerCost(p, c); !close(got, want) {
+				t.Fatalf("%s: PeerCost(%d,%d) %g want %g", step, p, c, got, want)
+			}
+			if got, want := e.Contribution(p, c), fresh.Contribution(p, c); !close(got, want) {
+				t.Fatalf("%s: Contribution(%d,%d) %g want %g", step, p, c, got, want)
+			}
+		}
+	}
+}
+
+// TestAddRemoveMatchesRebuild drives randomized membership sequences
+// (joins into existing clusters and singletons, departures, interior
+// moves) and pins the incremental state to a fresh Rebuild after every
+// operation.
+func TestAddRemoveMatchesRebuild(t *testing.T) {
+	const v = 12
+	peers, wl, _ := testSystem(t, 10, v, 101)
+	ids := testAttrIDs(v)
+	e := New(peers, wl, cluster.NewSingletons(10), cluster.LinearTheta(), 1)
+	rng := stats.NewRNG(202)
+
+	livePeers := func() []int {
+		var out []int
+		for p := 0; p < e.NumSlots(); p++ {
+			if e.IsLive(p) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	for step := 0; step < 120; step++ {
+		live := livePeers()
+		op := rng.Intn(3)
+		switch {
+		case op == 0 || len(live) <= 2: // join
+			pr, qs, cs := randomJoiner(ids, rng)
+			to := cluster.None
+			if rng.Intn(2) == 0 && len(live) > 0 {
+				// Join an existing non-empty cluster.
+				to = e.Config().ClusterOf(live[rng.Intn(len(live))])
+			}
+			pid := e.AddPeer(pr, qs, cs, to)
+			if pr.ID() != pid {
+				t.Fatalf("step %d: joiner ID %d want %d", step, pr.ID(), pid)
+			}
+		case op == 1: // leave
+			e.RemovePeer(live[rng.Intn(len(live))])
+		default: // interior move
+			p := live[rng.Intn(len(live))]
+			targets := e.Config().NonEmpty()
+			e.Move(p, targets[rng.Intn(len(targets))])
+		}
+		checkAgainstRebuild(t, e, "step")
+	}
+	if got := len(livePeers()); got != e.NumPeers() {
+		t.Fatalf("live scan %d != NumPeers %d", got, e.NumPeers())
+	}
+}
+
+// TestAddPeerIntoEmptySystem grows a system from zero peers purely
+// through AddPeer, which is how the serve daemon bootstraps.
+func TestAddPeerIntoEmptySystem(t *testing.T) {
+	e := New(nil, workload.New(0), cluster.FromAssignment(nil), cluster.LinearTheta(), 1)
+	if e.SCost() != 0 || e.NumPeers() != 0 {
+		t.Fatalf("empty system SCost=%g live=%d", e.SCost(), e.NumPeers())
+	}
+	ids := testAttrIDs(6)
+	rng := stats.NewRNG(7)
+	for i := 0; i < 8; i++ {
+		pr, qs, cs := randomJoiner(ids, rng)
+		e.AddPeer(pr, qs, cs, cluster.None)
+		checkAgainstRebuild(t, e, "bootstrap")
+	}
+	for e.NumPeers() > 0 {
+		for p := 0; p < e.NumSlots(); p++ {
+			if e.IsLive(p) {
+				e.RemovePeer(p)
+				break
+			}
+		}
+		checkAgainstRebuild(t, e, "drain")
+	}
+}
+
+// TestAddRemoveSlotReuse pins the slot discipline: a departed slot is
+// reused by the next joiner and IDs stay dense.
+func TestAddRemoveSlotReuse(t *testing.T) {
+	e := newTestEngine(t, 8, 10, 303, nil)
+	e.RemovePeer(3)
+	if e.IsLive(3) || e.NumPeers() != 7 || e.NumSlots() != 8 {
+		t.Fatalf("after remove: live(3)=%v peers=%d slots=%d", e.IsLive(3), e.NumPeers(), e.NumSlots())
+	}
+	ids := testAttrIDs(10)
+	pr, qs, cs := randomJoiner(ids, stats.NewRNG(9))
+	if pid := e.AddPeer(pr, qs, cs, cluster.None); pid != 3 {
+		t.Fatalf("joiner got slot %d, want reused slot 3", pid)
+	}
+	pr2, qs2, cs2 := randomJoiner(ids, stats.NewRNG(10))
+	if pid := e.AddPeer(pr2, qs2, cs2, cluster.None); pid != 8 {
+		t.Fatalf("joiner got slot %d, want fresh slot 8", pid)
+	}
+	if e.NumSlots() != 9 || e.Config().Cmax() != 9 {
+		t.Fatalf("slots=%d cmax=%d want 9/9", e.NumSlots(), e.Config().Cmax())
+	}
+	checkAgainstRebuild(t, e, "slot-reuse")
+}
+
+// TestAddRemoveAllocationFree pins the steady-state promise: once
+// capacities are warm, an add/remove churn cycle allocates nothing.
+func TestAddRemoveAllocationFree(t *testing.T) {
+	e := newTestEngine(t, 16, 10, 404, nil)
+	ids := testAttrIDs(10)
+	pr := peer.New(-1)
+	pr.SetItems([]attr.Set{attr.NewSet(ids[1], ids[4]), attr.NewSet(ids[2], ids[7])})
+	queries := []attr.Set{attr.NewSet(ids[3]), attr.NewSet(ids[5])}
+	counts := []int{2, 3}
+	// Warm: build the indexes, grow every capacity once.
+	pid := e.AddPeer(pr, queries, counts, cluster.None)
+	e.RemovePeer(pid)
+	pid = e.AddPeer(pr, queries, counts, cluster.None)
+	e.RemovePeer(pid)
+	if avg := testing.AllocsPerRun(100, func() {
+		id := e.AddPeer(pr, queries, counts, cluster.None)
+		e.RemovePeer(id)
+	}); avg != 0 {
+		t.Errorf("AddPeer+RemovePeer allocates %v per cycle, want 0", avg)
+	}
+}
+
+// TestStaleDetectsMembershipChanges pins the hardened staleness rule:
+// an engine must flag configurations whose membership was mutated
+// behind its back, while its own mutations keep it fresh.
+func TestStaleDetectsMembershipChanges(t *testing.T) {
+	e := newTestEngine(t, 6, 8, 505, nil)
+	if e.Stale() {
+		t.Fatal("fresh engine reports stale")
+	}
+	e.Move(0, e.Config().ClusterOf(1))
+	if e.Stale() {
+		t.Fatal("stale after engine-driven Move")
+	}
+	ids := testAttrIDs(8)
+	pr, qs, cs := randomJoiner(ids, stats.NewRNG(1))
+	pid := e.AddPeer(pr, qs, cs, cluster.None)
+	if e.Stale() {
+		t.Fatal("stale after engine-driven AddPeer")
+	}
+	e.RemovePeer(pid)
+	if e.Stale() {
+		t.Fatal("stale after engine-driven RemovePeer")
+	}
+	// Mutating the configuration directly must trip staleness.
+	e.Config().Move(0, e.Config().ClusterOf(2))
+	if !e.Stale() {
+		t.Fatal("external Config.Move not detected")
+	}
+	e.Rebuild()
+	if e.Stale() {
+		t.Fatal("stale after Rebuild")
+	}
+	e.Config().AddSlot()
+	if !e.Stale() {
+		t.Fatal("external Config.AddSlot not detected")
+	}
+}
+
+// TestMutatorsRefuseStaleEngine pins that Move/AddPeer/RemovePeer
+// panic instead of laundering an external mutation: they sync the
+// version counters on exit, so running them over a stale engine would
+// otherwise flip Stale back to false over wrong aggregates.
+func TestMutatorsRefuseStaleEngine(t *testing.T) {
+	ids := testAttrIDs(8)
+	mutate := func(e *Engine) { e.Workload().Add(0, attr.NewSet(ids[2]), 1) }
+	expectPanic := func(name string, fn func(e *Engine)) {
+		e := newTestEngine(t, 6, 8, 606, nil)
+		mutate(e)
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a stale engine did not panic", name)
+			}
+		}()
+		fn(e)
+	}
+	expectPanic("Move", func(e *Engine) { e.Move(0, e.Config().ClusterOf(1)) })
+	expectPanic("AddPeer", func(e *Engine) {
+		pr, qs, cs := randomJoiner(ids, stats.NewRNG(1))
+		e.AddPeer(pr, qs, cs, cluster.None)
+	})
+	expectPanic("RemovePeer", func(e *Engine) { e.RemovePeer(0) })
+}

@@ -34,6 +34,9 @@ type NashWitness struct {
 // cluster). On failure it returns a witness deviation.
 func (e *Engine) IsNash(tol float64) (bool, NashWitness) {
 	for p := 0; p < e.n; p++ {
+		if e.peers[p] == nil {
+			continue
+		}
 		to, imp, isNew := e.BestResponse(p)
 		if imp > tol {
 			return false, NashWitness{
@@ -74,6 +77,9 @@ func (e *Engine) BestResponseDynamics(rng *stats.RNG, tol float64, maxPasses int
 		res.Passes++
 		moved := false
 		for _, p := range rng.Perm(e.n) {
+			if e.peers[p] == nil {
+				continue
+			}
 			to, imp, isNew := e.BestResponse(p)
 			if imp <= tol {
 				continue

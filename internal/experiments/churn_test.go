@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestChurnDeterministicAcrossWorkers pins the churn driver's output
+// to be byte-identical for every worker-pool setting (the driver's
+// membership trace is sequential; the worker knob must not leak into
+// it) and across repeated runs.
+func TestChurnDeterministicAcrossWorkers(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 60
+	base := ""
+	for _, w := range []int{1, 1, 2, 4} {
+		pp := p
+		pp.Workers = w
+		got := RunChurn(pp, 3, 0.1).CSV()
+		if base == "" {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Fatalf("workers=%d churn output diverged:\n%s\nwant:\n%s", w, got, base)
+		}
+	}
+}
+
+// TestFlashCrowdDeterministicAcrossWorkers pins the flash-crowd sweep
+// (whose burst cells do fan out over the pool) to byte-identical
+// output for every worker count.
+func TestFlashCrowdDeterministicAcrossWorkers(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 60
+	bursts := []int{4, 8, 12}
+	base := ""
+	for _, w := range []int{1, 2, 4} {
+		pp := p
+		pp.Workers = w
+		got := RunFlashCrowd(pp, bursts).CSV()
+		if base == "" {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Fatalf("workers=%d flash-crowd output diverged:\n%s\nwant:\n%s", w, got, base)
+		}
+	}
+}
+
+// TestFlashCrowdRecovers checks the scenario's shape: the arrival
+// burst raises the social cost, maintenance absorbs some of it, and
+// after the crowd departs maintenance restores a cost close to the
+// settled one, with the population back at its original size.
+func TestFlashCrowdRecovers(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 100
+	tb := RunFlashCrowd(p, []int{12})
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", s, err)
+		}
+		return v
+	}
+	settled, arrival := parse(row[1]), parse(row[2])
+	absorbed, recovered := parse(row[3]), parse(row[6])
+	if arrival <= settled {
+		t.Errorf("arrival burst did not raise cost: settled %g arrival %g", settled, arrival)
+	}
+	if absorbed > arrival+1e-9 {
+		t.Errorf("maintenance worsened the burst: arrival %g absorbed %g", arrival, absorbed)
+	}
+	if recovered > settled+0.05 {
+		t.Errorf("system did not recover: settled %g recovered %g", settled, recovered)
+	}
+}
+
+// TestChurnScalesWithoutRebuild is a smoke test that a churn sweep on
+// a larger population stays on the incremental path (it would time out
+// if every period paid a full rebuild of a 10k-slot engine; here we
+// use a moderate size to keep CI fast while still exercising slot
+// growth and reuse at scale).
+func TestChurnScalesWithoutRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := fastParams()
+	p.Peers = 300
+	p.TotalQueries = 1200
+	p.MaxRounds = 30
+	s := RunChurn(p, 3, 0.02)
+	if s.Len() != 3 {
+		t.Fatalf("periods=%d", s.Len())
+	}
+}

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
 	"repro/internal/stats"
 )
 
@@ -95,6 +98,81 @@ func (s *System) ReplaceData(p int, toCat int, frac float64, rng *stats.RNG) {
 	if replace == n {
 		s.DataCat[p] = toCat
 	}
+}
+
+// NewcomerMaterials generates the content and local workload of a
+// fresh peer with data in dataCat and interests in queryCat, shaped
+// like the seed population (DocsPerPeer documents, the usual distinct
+// query words, `demand` query instances).
+func (s *System) NewcomerMaterials(dataCat, queryCat, demand int, rng *stats.RNG) (items, queries []attr.Set, counts []int) {
+	items = make([]attr.Set, 0, s.Params.DocsPerPeer)
+	for d := 0; d < s.Params.DocsPerPeer; d++ {
+		doc := s.Gen.DocumentRNG(dataCat, rng)
+		items = append(items, doc.Terms)
+		s.addToPool(dataCat, doc.Terms.IDs())
+	}
+	if demand <= 0 {
+		demand = s.Params.TotalQueries / s.Params.Peers
+		if demand <= 0 {
+			demand = 1
+		}
+	}
+	distinct := s.Params.DistinctQueriesPerPeer
+	if distinct <= 0 {
+		distinct = 3
+	}
+	words := make([]attr.ID, 0, distinct)
+	for len(words) < distinct {
+		words = append(words, s.SampleQueryWord(queryCat, rng))
+	}
+	w := stats.ZipfWeights(len(words), 1)
+	left := demand
+	for k, word := range words {
+		c := int(w[k]*float64(demand) + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		if c > left {
+			c = left
+		}
+		if c == 0 {
+			break
+		}
+		queries = append(queries, attr.NewSet(word))
+		counts = append(counts, c)
+		left -= c
+	}
+	if left > 0 {
+		queries = append(queries, attr.NewSet(words[0]))
+		counts = append(counts, left)
+	}
+	return items, queries, counts
+}
+
+// JoinPeer admits a brand-new peer (content in dataCat, interests in
+// queryCat) into the engine as a fresh singleton cluster via the
+// incremental membership path — no Rebuild — and keeps the System's
+// category bookkeeping aligned. It returns the assigned peer ID.
+func (s *System) JoinPeer(eng *core.Engine, dataCat, queryCat int, rng *stats.RNG) int {
+	items, queries, counts := s.NewcomerMaterials(dataCat, queryCat, 0, rng)
+	pr := peer.New(-1)
+	pr.SetItems(items)
+	pid := eng.AddPeer(pr, queries, counts, cluster.None)
+	s.Peers = eng.Peers()
+	for len(s.DataCat) < len(s.Peers) {
+		s.DataCat = append(s.DataCat, -1)
+		s.QueryCat = append(s.QueryCat, -1)
+	}
+	s.DataCat[pid], s.QueryCat[pid] = dataCat, queryCat
+	return pid
+}
+
+// LeavePeer retires peer pid from the engine via the incremental
+// membership path and clears the System's category bookkeeping.
+func (s *System) LeavePeer(eng *core.Engine, pid int) {
+	eng.RemovePeer(pid)
+	s.Peers = eng.Peers()
+	s.DataCat[pid], s.QueryCat[pid] = -1, -1
 }
 
 // ReplacePeerIdentity simulates churn: the peer at slot p leaves and a

@@ -33,6 +33,11 @@ func New(id int) *Peer {
 // ID returns the peer's identifier.
 func (p *Peer) ID() int { return p.id }
 
+// SetID rebinds the peer's identifier. The membership engine assigns
+// joiners their slot ID this way (the slot is not known before the
+// join is admitted); nothing else should call it.
+func (p *Peer) SetID(id int) { p.id = id }
+
 // NumItems returns how many data items the peer shares.
 func (p *Peer) NumItems() int { return len(p.items) }
 
@@ -132,6 +137,20 @@ outer:
 		n++
 	}
 	return n
+}
+
+// AppendAttrs appends the distinct attributes appearing in the peer's
+// items to dst and returns the extended slice. The order is
+// unspecified (callers that need determinism sort the result); hot
+// paths pass a reused scratch slice to stay allocation-free.
+func (p *Peer) AppendAttrs(dst []attr.ID) []attr.ID {
+	if p.postings == nil {
+		p.buildPostings()
+	}
+	for a := range p.postings {
+		dst = append(dst, a)
+	}
+	return dst
 }
 
 // AttrFrequencies returns, for every attribute appearing in the peer's

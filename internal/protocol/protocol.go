@@ -101,8 +101,12 @@ type Runner struct {
 
 	// baseline records each peer's individual cost at the start of the
 	// period; the drift rule for new-cluster creation compares against
-	// it.
-	baseline []float64
+	// it. baselineGen records each slot's join generation at snapshot
+	// time: a slot reused by a newcomer mid-period carries a different
+	// generation, so the newcomer never inherits the departed peer's
+	// baseline.
+	baseline    []float64
+	baselineGen []uint32
 
 	// Per-round scratch, reused across rounds.
 	requests    []Request
@@ -129,15 +133,25 @@ func (r *Runner) Engine() *core.Engine { return r.eng }
 // BeginPeriod snapshots every peer's individual cost as the baseline
 // the new-cluster drift rule compares against. Run calls it
 // automatically; call it manually when interleaving workload updates
-// with single rounds.
+// or membership changes with single rounds. Vacated slots get a NaN
+// baseline (which disables the drift rule), as do peers joining after
+// the snapshot — a newcomer founds no drift cluster in its first
+// period.
 func (r *Runner) BeginPeriod() {
-	n := r.eng.NumPeers()
+	n := r.eng.NumSlots()
 	if cap(r.baseline) < n {
 		r.baseline = make([]float64, n)
+		r.baselineGen = make([]uint32, n)
 	}
 	r.baseline = r.baseline[:n]
+	r.baselineGen = r.baselineGen[:n]
 	cfg := r.eng.Config()
 	for p := 0; p < n; p++ {
+		r.baselineGen[p] = r.eng.SlotGeneration(p)
+		if !r.eng.IsLive(p) {
+			r.baseline[p] = math.NaN()
+			continue
+		}
 		r.baseline[p] = r.eng.PeerCost(p, cfg.ClusterOf(p))
 	}
 }
@@ -168,8 +182,11 @@ func (r *Runner) RunRound(round int) RoundReport {
 		rep.Messages += len(members) - 1
 		best := Request{Gain: math.Inf(-1)}
 		for _, p := range members {
+			// Peers that joined after the period baseline was taken —
+			// either beyond its length or into a reused slot whose join
+			// generation moved on — decide with a NaN baseline.
 			baseline := math.NaN()
-			if r.baseline != nil {
+			if p < len(r.baseline) && r.eng.SlotGeneration(p) == r.baselineGen[p] {
 				baseline = r.baseline[p]
 			}
 			d := r.strategy.Decide(r.eng, p, baseline, r.opts.AllowNewClusters)

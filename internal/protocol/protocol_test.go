@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/attr"
@@ -257,4 +258,54 @@ func within(got, want, tol float64) bool {
 		d = -d
 	}
 	return d <= tol
+}
+
+// baselineProbe records the baseline each peer decides with.
+type baselineProbe struct {
+	got map[int]float64
+}
+
+func (b *baselineProbe) Name() string { return "probe" }
+
+func (b *baselineProbe) Decide(e *core.Engine, p int, baseline float64, _ bool) core.Decision {
+	b.got[p] = baseline
+	return core.Decision{Peer: p, From: e.Config().ClusterOf(p)}
+}
+
+// TestMidPeriodJoinGetsNaNBaseline pins the slot-generation guard: a
+// newcomer that joins mid-period — whether into a reused slot or a
+// fresh one — must decide with a NaN baseline, never the departed
+// peer's snapshot.
+func TestMidPeriodJoinGetsNaNBaseline(t *testing.T) {
+	eng := grouped(t, 3, 4)
+	probe := &baselineProbe{got: map[int]float64{}}
+	r := NewRunner(eng, probe, Options{Epsilon: 0.001, MaxRounds: 10, AllowNewClusters: true})
+	r.BeginPeriod()
+
+	// Peer 5 departs; a newcomer reuses its slot mid-period. A second
+	// newcomer takes a fresh slot beyond the baseline's length.
+	eng.RemovePeer(5)
+	joiner := peer.New(-1)
+	joiner.SetItems([]attr.Set{attr.NewSet(0)})
+	if pid := eng.AddPeer(joiner, []attr.Set{attr.NewSet(0)}, []int{2}, cluster.None); pid != 5 {
+		t.Fatalf("joiner got slot %d, want reused slot 5", pid)
+	}
+	fresh := peer.New(-1)
+	fresh.SetItems([]attr.Set{attr.NewSet(1)})
+	freshID := eng.AddPeer(fresh, []attr.Set{attr.NewSet(1)}, []int{2}, cluster.None)
+
+	r.RunRound(1)
+	for _, pid := range []int{5, freshID} {
+		got, ok := probe.got[pid]
+		if !ok {
+			t.Fatalf("peer %d never decided", pid)
+		}
+		if !math.IsNaN(got) {
+			t.Errorf("mid-period joiner %d decided with baseline %g, want NaN", pid, got)
+		}
+	}
+	// A peer present at the snapshot keeps its real baseline.
+	if got := probe.got[0]; math.IsNaN(got) {
+		t.Error("pre-existing peer 0 lost its baseline")
+	}
 }

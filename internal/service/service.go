@@ -1,0 +1,428 @@
+// Package service runs the clustered overlay as a long-lived network
+// daemon: an always-on process whose membership is driven by HTTP
+// requests (peers join and leave at any time through the engine's
+// incremental membership path) and whose overlay quality is sustained
+// by reformulation rounds on a ticker — the paper's periodic selfish
+// maintenance turned into an online serving loop.
+//
+// The JSON API:
+//
+//	POST   /peers       admit a peer (content items + local workload)
+//	GET    /peers/{id}  inspect one peer (cluster, individual cost)
+//	DELETE /peers/{id}  retire a peer
+//	POST   /query       evaluate a query against the live population
+//	POST   /reform      run one maintenance period now
+//	GET    /stats       live system metrics
+//	GET    /snapshot    full serialized state (the snapshot format)
+//
+// All state lives behind one mutex: the cost engine is single-threaded
+// by design (it owns scratch buffers), and membership operations are
+// cheap (proportional to the moving peer's footprint), so a single
+// writer serializes cleanly. Snapshots taken periodically and on
+// graceful shutdown let the overlay survive restarts: a new process
+// restored from a snapshot serves the same peers, clusters and costs.
+//
+// Known limitation: distinct queries are interned forever — a leave
+// withdraws a peer's demand counts but keeps the query's (empty) rows,
+// so a very long-lived daemon whose churning peers issue ever-novel
+// queries grows memory with the distinct-query count. A snapshot
+// restore compacts this (only live peers' queries are re-interned), so
+// periodic restarts — which the snapshot machinery makes lossless —
+// bound the growth; in-place compaction is future work (see ROADMAP).
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server. Zero values fall back to the paper's
+// setting (α = 1, ε = 0.001, linear θ).
+type Config struct {
+	// Alpha is the membership-cost weight.
+	Alpha float64
+	// Epsilon is the reformulation gain threshold.
+	Epsilon float64
+	// Theta is the cluster participation cost; nil means linear.
+	Theta cluster.Theta
+	// MaxRounds bounds each maintenance period.
+	MaxRounds int
+	// ReformEvery drives maintenance periods on a ticker; 0 disables
+	// the ticker (maintenance then runs only via POST /reform).
+	ReformEvery time.Duration
+	// SnapshotPath, when set, is where periodic and shutdown snapshots
+	// are written.
+	SnapshotPath string
+	// SnapshotEvery is the snapshot period (0: only on shutdown).
+	SnapshotEvery time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.001
+	}
+	if c.Theta.F == nil {
+		c.Theta = cluster.LinearTheta()
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 300
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the online overlay daemon.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	vocab   *attr.Vocab
+	eng     *core.Engine
+	runner  *protocol.Runner
+	started time.Time
+	reforms int // maintenance periods run
+	rounds  int // reformulation rounds executed
+	moves   int // granted relocations
+	joins   int
+	leaves  int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Server over an initially empty system: the population
+// grows entirely through the join API (or a snapshot restore).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		vocab:   attr.NewVocab(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	s.eng = core.New(nil, workload.New(0), cluster.FromAssignment(nil), cfg.Theta, cfg.Alpha)
+	s.runner = s.newRunner()
+	return s
+}
+
+// Start launches the background maintenance and snapshot tickers.
+// Callers that only use the HTTP handler (tests, manual maintenance)
+// may skip it.
+func (s *Server) Start() {
+	if s.cfg.ReformEvery > 0 {
+		s.wg.Add(1)
+		go s.tick(s.cfg.ReformEvery, func() {
+			rpt := s.Reform()
+			s.cfg.Logf("reform: %d rounds, %d moves, scost %.4f -> %.4f",
+				rpt.RoundsRun, countMoves(rpt), rpt.InitialSCost, rpt.FinalSCost)
+		})
+	}
+	if s.cfg.SnapshotPath != "" && s.cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		go s.tick(s.cfg.SnapshotEvery, func() {
+			if err := s.WriteSnapshot(s.cfg.SnapshotPath); err != nil {
+				s.cfg.Logf("snapshot: %v", err)
+			}
+		})
+	}
+}
+
+func (s *Server) tick(every time.Duration, fn func()) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fn()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Shutdown stops the tickers and writes a final snapshot when a path
+// is configured, so a restarted daemon resumes the same overlay.
+func (s *Server) Shutdown() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	if s.cfg.SnapshotPath != "" {
+		return s.WriteSnapshot(s.cfg.SnapshotPath)
+	}
+	return nil
+}
+
+// Reform runs one maintenance period now and returns its report.
+func (s *Server) Reform() protocol.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rpt := s.runner.Run()
+	s.reforms++
+	s.rounds += rpt.RoundsRun
+	s.moves += countMoves(rpt)
+	return rpt
+}
+
+func countMoves(rpt protocol.Report) int {
+	n := 0
+	for _, rr := range rpt.Rounds {
+		n += rr.Granted
+	}
+	return n
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /peers", s.handleJoin)
+	mux.HandleFunc("GET /peers/{id}", s.handlePeerGet)
+	mux.HandleFunc("DELETE /peers/{id}", s.handleLeave)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /reform", s.handleReform)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	return mux
+}
+
+// joinRequest is the POST /peers body.
+type joinRequest struct {
+	// Items is the peer's shared content: one attribute-set (e.g. the
+	// distinct terms of a document) per item.
+	Items [][]string `json:"items"`
+	// Queries is the peer's local workload.
+	Queries []queryCount `json:"queries"`
+}
+
+type queryCount struct {
+	Terms []string `json:"terms"`
+	Count int      `json:"count"`
+}
+
+type joinResponse struct {
+	ID      int     `json:"id"`
+	Cluster int     `json:"cluster"`
+	Peers   int     `json:"peers"`
+	SCost   float64 `json:"scost"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad join body: %v", err)
+		return
+	}
+	for _, q := range req.Queries {
+		if len(q.Terms) == 0 {
+			httpError(w, http.StatusBadRequest, "query with no terms")
+			return
+		}
+		if q.Count <= 0 {
+			httpError(w, http.StatusBadRequest, "query count must be positive")
+			return
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := make([]attr.Set, 0, len(req.Items))
+	for _, it := range req.Items {
+		items = append(items, attr.NewSet(s.vocab.InternAll(it)...))
+	}
+	queries := make([]attr.Set, 0, len(req.Queries))
+	counts := make([]int, 0, len(req.Queries))
+	for _, q := range req.Queries {
+		queries = append(queries, attr.NewSet(s.vocab.InternAll(q.Terms)...))
+		counts = append(counts, q.Count)
+	}
+	pr := peer.New(-1)
+	pr.SetItems(items)
+	pid := s.eng.AddPeer(pr, queries, counts, cluster.None)
+	s.joins++
+	writeJSON(w, http.StatusCreated, joinResponse{
+		ID:      pid,
+		Cluster: int(s.eng.Config().ClusterOf(pid)),
+		Peers:   s.eng.NumPeers(),
+		SCost:   s.eng.SCostNormalized(),
+	})
+}
+
+func (s *Server) peerID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad peer id %q", r.PathValue("id"))
+		return 0, false
+	}
+	if id < 0 || id >= s.eng.NumSlots() || !s.eng.IsLive(id) {
+		httpError(w, http.StatusNotFound, "no live peer %d", id)
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.peerID(w, r)
+	if !ok {
+		return
+	}
+	cid := s.eng.Config().ClusterOf(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":           id,
+		"cluster":      int(cid),
+		"cluster_size": s.eng.Config().Size(cid),
+		"cost":         s.eng.PeerCost(id, cid),
+	})
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.peerID(w, r)
+	if !ok {
+		return
+	}
+	s.eng.RemovePeer(id)
+	s.leaves++
+	writeJSON(w, http.StatusOK, map[string]any{
+		"removed": id,
+		"peers":   s.eng.NumPeers(),
+		"scost":   s.eng.SCostNormalized(),
+	})
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Terms []string `json:"terms"`
+}
+
+type clusterHit struct {
+	Cluster int     `json:"cluster"`
+	Size    int     `json:"size"`
+	Results int     `json:"results"`
+	Recall  float64 `json:"recall"`
+}
+
+type queryResponse struct {
+	Total    int          `json:"total"`
+	Clusters []clusterHit `json:"clusters"`
+}
+
+// handleQuery evaluates a query against every live peer and reports
+// where its results live, cluster by cluster — the routing view a
+// querying client uses to decide which clusters to contact. It is
+// read-only: ad-hoc queries are not recorded as demand.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad query body: %v", err)
+		return
+	}
+	if len(req.Terms) == 0 {
+		httpError(w, http.StatusBadRequest, "query with no terms")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Unknown terms cannot match anything: items only contain interned
+	// attributes.
+	ids := make([]attr.ID, 0, len(req.Terms))
+	known := true
+	for _, t := range req.Terms {
+		id, ok := s.vocab.Lookup(t)
+		if !ok {
+			known = false
+			break
+		}
+		ids = append(ids, id)
+	}
+	resp := queryResponse{Clusters: []clusterHit{}}
+	if known {
+		q := attr.NewSet(ids...)
+		cfg := s.eng.Config()
+		perCluster := make(map[cluster.CID]int)
+		// The engine's content index bounds this by the first term's
+		// posting list, not the population, so queries stay cheap under
+		// the daemon's single mutex.
+		s.eng.ForEachSupplier(q, func(pid, res int) {
+			perCluster[cfg.ClusterOf(pid)] += res
+			resp.Total += res
+		})
+		for _, c := range cfg.NonEmpty() {
+			if n, ok := perCluster[c]; ok {
+				resp.Clusters = append(resp.Clusters, clusterHit{
+					Cluster: int(c),
+					Size:    cfg.Size(c),
+					Results: n,
+					Recall:  float64(n) / float64(resp.Total),
+				})
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReform(w http.ResponseWriter, _ *http.Request) {
+	rpt := s.Reform()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rounds":    rpt.RoundsRun,
+		"moves":     countMoves(rpt),
+		"converged": rpt.Converged,
+		"scost":     rpt.FinalSCost,
+		"wcost":     rpt.FinalWCost,
+		"clusters":  rpt.FinalClusters,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"peers":          s.eng.NumPeers(),
+		"slots":          s.eng.NumSlots(),
+		"clusters":       s.eng.Config().NumNonEmpty(),
+		"queries":        s.eng.Workload().NumQueries(),
+		"scost":          s.eng.SCostNormalized(),
+		"wcost":          s.eng.WCostNormalized(),
+		"reforms":        s.reforms,
+		"rounds":         s.rounds,
+		"moves":          s.moves,
+		"joins":          s.joins,
+		"leaves":         s.leaves,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

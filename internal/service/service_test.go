@@ -1,0 +1,219 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, wantCode int) map[string]any {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, path, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d want %d (%v)", method, path, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+func joinBody(cat int, doc int) joinRequest {
+	// Three terms per item, category-prefixed so clusters can form.
+	term := func(i int) string { return fmt.Sprintf("c%d-t%d", cat, (doc+i)%5) }
+	return joinRequest{
+		Items:   [][]string{{term(0), term(1)}, {term(1), term(2)}},
+		Queries: []queryCount{{Terms: []string{term(0)}, Count: 3}, {Terms: []string{term(2)}, Count: 2}},
+	}
+}
+
+// TestServeLifecycle drives the acceptance cycle end to end over HTTP:
+// join -> query -> reform -> leave -> snapshot -> restore, with the
+// restored daemon serving identical peers, clusters and costs.
+func TestServeLifecycle(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Join 9 peers across 3 categories.
+	ids := make([]int, 0, 9)
+	for i := 0; i < 9; i++ {
+		resp := doJSON(t, ts, "POST", "/peers", joinBody(i%3, i/3), http.StatusCreated)
+		ids = append(ids, int(resp["id"].(float64)))
+	}
+	if got := doJSON(t, ts, "GET", "/stats", nil, http.StatusOK); got["peers"].(float64) != 9 {
+		t.Fatalf("stats peers = %v, want 9", got["peers"])
+	}
+
+	// Query: results for a category-0 term must exist and recall must
+	// sum to 1 across clusters.
+	q := doJSON(t, ts, "POST", "/query", queryRequest{Terms: []string{"c0-t0"}}, http.StatusOK)
+	if q["total"].(float64) <= 0 {
+		t.Fatalf("query found no results: %v", q)
+	}
+	var recall float64
+	for _, hit := range q["clusters"].([]any) {
+		recall += hit.(map[string]any)["recall"].(float64)
+	}
+	if math.Abs(recall-1) > 1e-9 {
+		t.Fatalf("cluster recall sums to %g, want 1", recall)
+	}
+	// Unknown terms yield an empty result, not an error.
+	if q := doJSON(t, ts, "POST", "/query", queryRequest{Terms: []string{"nope"}}, http.StatusOK); q["total"].(float64) != 0 {
+		t.Fatalf("unknown term matched: %v", q)
+	}
+
+	// Maintenance integrates the singleton joiners into clusters.
+	doJSON(t, ts, "POST", "/reform", nil, http.StatusOK)
+	st := doJSON(t, ts, "GET", "/stats", nil, http.StatusOK)
+	if st["clusters"].(float64) >= 9 {
+		t.Fatalf("reform did not merge singletons: %v clusters", st["clusters"])
+	}
+
+	// One peer leaves; its slot shows up in slots but not peers.
+	doJSON(t, ts, "DELETE", fmt.Sprintf("/peers/%d", ids[4]), nil, http.StatusOK)
+	doJSON(t, ts, "GET", fmt.Sprintf("/peers/%d", ids[4]), nil, http.StatusNotFound)
+	doJSON(t, ts, "DELETE", fmt.Sprintf("/peers/%d", ids[4]), nil, http.StatusNotFound)
+	st = doJSON(t, ts, "GET", "/stats", nil, http.StatusOK)
+	if st["peers"].(float64) != 8 || st["slots"].(float64) != 9 {
+		t.Fatalf("after leave: peers=%v slots=%v, want 8/9", st["peers"], st["slots"])
+	}
+	scost := st["scost"].(float64)
+
+	// Snapshot over HTTP, restore into a fresh daemon: identical state.
+	var snap Snapshot
+	resp, err := ts.Client().Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	restored, err := NewFromSnapshot(Config{}, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(restored.Handler())
+	defer ts2.Close()
+	st2 := doJSON(t, ts2, "GET", "/stats", nil, http.StatusOK)
+	if st2["peers"].(float64) != 8 || st2["slots"].(float64) != 9 {
+		t.Fatalf("restored: peers=%v slots=%v, want 8/9", st2["peers"], st2["slots"])
+	}
+	if got := st2["scost"].(float64); math.Abs(got-scost) > 1e-9 {
+		t.Fatalf("restored scost %g, want %g", got, scost)
+	}
+	for _, id := range ids {
+		want := http.StatusOK
+		if id == ids[4] {
+			want = http.StatusNotFound
+		}
+		got := doJSON(t, ts2, "GET", fmt.Sprintf("/peers/%d", id), nil, want)
+		if want == http.StatusOK {
+			orig := doJSON(t, ts, "GET", fmt.Sprintf("/peers/%d", id), nil, http.StatusOK)
+			if got["cluster"] != orig["cluster"] {
+				t.Fatalf("peer %d cluster %v, want %v", id, got["cluster"], orig["cluster"])
+			}
+			if math.Abs(got["cost"].(float64)-orig["cost"].(float64)) > 1e-9 {
+				t.Fatalf("peer %d cost %v, want %v", id, got["cost"], orig["cost"])
+			}
+		}
+	}
+
+	// A rejoin on the restored daemon reuses the vacated slot.
+	rejoin := doJSON(t, ts2, "POST", "/peers", joinBody(1, 1), http.StatusCreated)
+	if int(rejoin["id"].(float64)) != ids[4] {
+		t.Fatalf("rejoin got slot %v, want vacated slot %d", rejoin["id"], ids[4])
+	}
+}
+
+// TestSnapshotFileRoundTrip pins the on-disk snapshot path: write,
+// load, restore, compare.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 6; i++ {
+		doJSON(t, ts, "POST", "/peers", joinBody(i%2, i), http.StatusCreated)
+	}
+	s.Reform()
+
+	path := filepath.Join(t.TempDir(), "overlay", "snapshot.json")
+	if err := s.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromSnapshot(Config{}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Snapshot(), restored.Snapshot()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("snapshot round-trip diverged:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestTickerAndShutdown exercises the background maintenance ticker
+// and the graceful-shutdown snapshot.
+func TestTickerAndShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	s := New(Config{ReformEvery: 5 * time.Millisecond, SnapshotPath: path})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Start()
+	for i := 0; i < 4; i++ {
+		doJSON(t, ts, "POST", "/peers", joinBody(i%2, i), http.StatusCreated)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := doJSON(t, ts, "GET", "/stats", nil, http.StatusOK)
+		if st["reforms"].(float64) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never ran a maintenance period")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("shutdown snapshot missing: %v", err)
+	}
+	if len(snap.Peers) != 4 {
+		t.Fatalf("shutdown snapshot has %d peers, want 4", len(snap.Peers))
+	}
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// snapshotVersion identifies the snapshot schema.
+const snapshotVersion = 1
+
+// Snapshot is the daemon's full serialized state: every live peer
+// with its slot, cluster, content and local workload, all attributes
+// resolved to their term strings (the vocabulary is rebuilt on
+// restore, so snapshots are self-contained and stable across
+// processes). Slots records the total slot count so peer IDs survive
+// a restore even with vacated slots in between.
+type Snapshot struct {
+	Version int            `json:"version"`
+	Alpha   float64        `json:"alpha"`
+	Epsilon float64        `json:"epsilon"`
+	Slots   int            `json:"slots"`
+	Peers   []PeerSnapshot `json:"peers"`
+}
+
+// PeerSnapshot is one live peer's state.
+type PeerSnapshot struct {
+	Slot    int          `json:"slot"`
+	Cluster int          `json:"cluster"`
+	Items   [][]string   `json:"items"`
+	Queries []queryCount `json:"queries"`
+}
+
+// Snapshot captures the daemon's current state.
+func (s *Server) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Snapshot{
+		Version: snapshotVersion,
+		Alpha:   s.cfg.Alpha,
+		Epsilon: s.cfg.Epsilon,
+		Slots:   s.eng.NumSlots(),
+		Peers:   []PeerSnapshot{},
+	}
+	wl := s.eng.Workload()
+	for pid := 0; pid < s.eng.NumSlots(); pid++ {
+		if !s.eng.IsLive(pid) {
+			continue
+		}
+		ps := PeerSnapshot{
+			Slot:    pid,
+			Cluster: int(s.eng.Config().ClusterOf(pid)),
+			Items:   [][]string{},
+			Queries: []queryCount{},
+		}
+		for _, it := range s.eng.Peers()[pid].Items() {
+			ps.Items = append(ps.Items, it.Names(s.vocab))
+		}
+		for _, en := range wl.Peer(pid) {
+			ps.Queries = append(ps.Queries, queryCount{
+				Terms: wl.Query(en.Q).Names(s.vocab),
+				Count: en.Count,
+			})
+		}
+		snap.Peers = append(snap.Peers, ps)
+	}
+	return snap
+}
+
+// NewFromSnapshot builds a Server whose overlay resumes exactly where
+// the snapshot left off: same peer IDs, same clusters, same costs.
+// The snapshot's alpha/epsilon override the config's.
+func NewFromSnapshot(cfg Config, snap *Snapshot) (*Server, error) {
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("service: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	cfg.Alpha = snap.Alpha
+	cfg.Epsilon = snap.Epsilon
+	s := New(cfg)
+
+	peers := make([]*peer.Peer, snap.Slots)
+	wl := workload.New(snap.Slots)
+	assign := make([]cluster.CID, snap.Slots)
+	for i := range assign {
+		assign[i] = cluster.None
+	}
+	for _, ps := range snap.Peers {
+		if ps.Slot < 0 || ps.Slot >= snap.Slots {
+			return nil, fmt.Errorf("service: snapshot slot %d out of range [0,%d)", ps.Slot, snap.Slots)
+		}
+		if peers[ps.Slot] != nil {
+			return nil, fmt.Errorf("service: snapshot slot %d duplicated", ps.Slot)
+		}
+		if ps.Cluster < 0 || ps.Cluster >= snap.Slots {
+			return nil, fmt.Errorf("service: snapshot peer %d in invalid cluster %d", ps.Slot, ps.Cluster)
+		}
+		pr := peer.New(ps.Slot)
+		items := make([]attr.Set, 0, len(ps.Items))
+		for _, it := range ps.Items {
+			items = append(items, attr.NewSet(s.vocab.InternAll(it)...))
+		}
+		pr.SetItems(items)
+		peers[ps.Slot] = pr
+		for _, q := range ps.Queries {
+			if len(q.Terms) == 0 || q.Count <= 0 {
+				return nil, fmt.Errorf("service: snapshot peer %d has invalid query", ps.Slot)
+			}
+			wl.Add(ps.Slot, attr.NewSet(s.vocab.InternAll(q.Terms)...), q.Count)
+		}
+		assign[ps.Slot] = cluster.CID(ps.Cluster)
+	}
+	s.eng = core.New(peers, wl, cluster.FromAssignment(assign), s.cfg.Theta, s.cfg.Alpha)
+	s.runner = s.newRunner()
+	return s, nil
+}
+
+func (s *Server) newRunner() *protocol.Runner {
+	return protocol.NewRunner(s.eng, core.NewSelfish(), protocol.Options{
+		Epsilon:          s.cfg.Epsilon,
+		MaxRounds:        s.cfg.MaxRounds,
+		AllowNewClusters: true,
+	})
+}
+
+// WriteSnapshot atomically writes the current snapshot to path.
+func (s *Server) WriteSnapshot(path string) error {
+	snap := s.Snapshot()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("service: snapshot dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: write snapshot: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads a snapshot written by WriteSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("service: decode snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}

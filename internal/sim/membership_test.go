@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+)
+
+// TestJoinLeaveBetweenPeriods drives actors joining and departing the
+// live simulation and cross-checks the surviving actors' local cost
+// estimates against an exact engine over the same population: dynamic
+// membership must not desynchronize the observation machinery.
+func TestJoinLeaveBetweenPeriods(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	s := newSim(sys, cfg, Selfish)
+	s.RunPeriod()
+
+	// A newcomer of category 0 joins as a singleton, two actors leave.
+	joiner := peer.New(-1)
+	joiner.SetItems([]attr.Set{attr.NewSet(0, 1), attr.NewSet(2, 3)})
+	id := s.AddNode(joiner, []attr.Set{attr.NewSet(1), attr.NewSet(4)}, []int{3, 2}, cluster.None)
+	if joiner.ID() != id {
+		t.Fatalf("joiner ID %d want %d", joiner.ID(), id)
+	}
+	s.RemoveNode(3)
+	s.RemoveNode(17)
+	if s.Live() != sys.n-1 {
+		t.Fatalf("live %d want %d", s.Live(), sys.n-1)
+	}
+
+	// The next observation phase must produce estimates matching the
+	// exact engine over the mutated population.
+	s.QueryPhase()
+	eng := core.New(s.ContentPeers(), sys.wl, s.Config().Clone(), sys.theta, 1)
+	for pid := 0; pid < len(s.nodes); pid++ {
+		if s.nodes[pid] == nil {
+			continue
+		}
+		for _, c := range s.Config().NonEmpty() {
+			got := s.EstimatedPeerCost(pid, c)
+			want := eng.PeerCost(pid, c)
+			if !within(got, want, 1e-9) {
+				t.Fatalf("peer %d cluster %d: estimated %g exact %g", pid, c, got, want)
+			}
+		}
+	}
+
+	// Reformulation still runs to quiescence over the mutated set.
+	rpt := s.RunPeriod()
+	if !rpt.Converged {
+		t.Fatalf("period after churn did not converge: %+v", rpt)
+	}
+
+	// A departed slot is reused by the next joiner.
+	rejoin := peer.New(-1)
+	rejoin.SetItems([]attr.Set{attr.NewSet(6, 7)})
+	if id := s.AddNode(rejoin, []attr.Set{attr.NewSet(7)}, []int{1}, cluster.None); id != 17 && id != 3 {
+		t.Fatalf("rejoiner got slot %d, want a vacated slot", id)
+	}
+}
+
+// TestNewOverVacatedSlots pins that sim.New accepts a population with
+// nil (vacated) slots — the shape reform.System.ActorSim hands it
+// after a Leave — counts only live actors, and reuses the vacated
+// slots for joiners.
+func TestNewOverVacatedSlots(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	peers := append([]*peer.Peer(nil), sys.peers...)
+	peers[7] = nil
+	cfg.Unplace(7)
+	sys.wl.ClearPeer(7)
+
+	s := New(peers, sys.wl, cfg, Options{Alpha: 1, Theta: sys.theta, Epsilon: sys.epsilon, MaxRounds: 20})
+	if s.Live() != sys.n-1 {
+		t.Fatalf("live %d want %d", s.Live(), sys.n-1)
+	}
+	if rpt := s.RunPeriod(); rpt.Rounds == 0 {
+		t.Fatal("no rounds executed over vacated-slot population")
+	}
+	joiner := peer.New(-1)
+	joiner.SetItems([]attr.Set{attr.NewSet(0)})
+	if id := s.AddNode(joiner, []attr.Set{attr.NewSet(0)}, []int{1}, cluster.None); id != 7 {
+		t.Fatalf("joiner got slot %d, want vacated slot 7", id)
+	}
+}

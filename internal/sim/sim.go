@@ -111,9 +111,13 @@ type Node struct {
 	contributedTotal float64
 }
 
-// Sim wires the actors together.
+// Sim wires the actors together. Membership is dynamic: AddNode and
+// RemoveNode admit and retire actors between phases (a vacated slot is
+// nil in nodes and reused by the next joiner), mirroring the slot
+// discipline of the exact engine.
 type Sim struct {
 	nodes []*Node
+	free  []int
 	wl    *workload.Workload
 	cfg   *cluster.Config
 	opts  Options
@@ -123,7 +127,9 @@ type Sim struct {
 }
 
 // New builds a simulation over the same inputs as core.New. The
-// configuration is adopted (and mutated by reformulation rounds).
+// configuration is adopted (and mutated by reformulation rounds). As
+// in core.New, a nil peer entry is a vacated slot: no actor is
+// spawned for it and the slot is available for reuse by AddNode.
 func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, opts Options) *Sim {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 100
@@ -133,7 +139,12 @@ func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, opts Op
 	}
 	s := &Sim{wl: wl, cfg: cfg, opts: opts}
 	s.nodes = make([]*Node, len(peers))
-	for i, p := range peers {
+	for i := len(peers) - 1; i >= 0; i-- {
+		p := peers[i]
+		if p == nil {
+			s.free = append(s.free, i)
+			continue
+		}
 		if p.ID() != i {
 			panic(fmt.Sprintf("sim: peers[%d] has ID %d", i, p.ID()))
 		}
@@ -147,6 +158,79 @@ func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, opts Op
 		}
 	}
 	return s
+}
+
+// Live returns the number of live actors — the configuration's
+// occupied-slot count, which AddNode/RemoveNode keep in lockstep with
+// the node table.
+func (s *Sim) Live() int { return s.cfg.Live() }
+
+// AddNode admits a new actor with the given content and local workload
+// into cluster `to` (cluster.None founds a singleton), between phases.
+// The joiner participates from the next query phase on; its slot
+// (reused from a departed actor when possible) is returned and the
+// content peer's ID rebound to it.
+func (s *Sim) AddNode(content *peer.Peer, queries []attr.Set, counts []int, to cluster.CID) int {
+	if len(queries) != len(counts) {
+		panic(fmt.Sprintf("sim: AddNode %d queries, %d counts", len(queries), len(counts)))
+	}
+	var id int
+	if k := len(s.free); k > 0 {
+		id = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		id = s.cfg.AddSlot()
+		if wid := s.wl.AddPeerSlot(); wid != id || id != len(s.nodes) {
+			panic(fmt.Sprintf("sim: slot misalignment cfg=%d wl=%d nodes=%d", id, wid, len(s.nodes)))
+		}
+		s.nodes = append(s.nodes, nil)
+	}
+	content.SetID(id)
+	for i, q := range queries {
+		s.wl.Add(id, q, counts[i])
+	}
+	if to == cluster.None {
+		slot, ok := s.cfg.EmptyCluster()
+		if !ok {
+			panic("sim: AddNode found no empty cluster slot")
+		}
+		to = slot
+	}
+	s.cfg.Place(id, to)
+	s.nodes[id] = &Node{
+		id:      id,
+		content: content,
+		demands: s.wl.Peer(id),
+		demTot:  s.wl.PeerTotal(id),
+		inbox:   make(chan queryMsg, 64),
+		cid:     to,
+	}
+	return id
+}
+
+// RemoveNode retires the actor in slot id between phases, clearing its
+// workload and vacating its slot for reuse.
+func (s *Sim) RemoveNode(id int) {
+	if id < 0 || id >= len(s.nodes) || s.nodes[id] == nil {
+		panic(fmt.Sprintf("sim: RemoveNode %d is not a live node", id))
+	}
+	s.cfg.Unplace(id)
+	s.wl.ClearPeer(id)
+	s.nodes[id] = nil
+	s.free = append(s.free, id)
+}
+
+// ContentPeers returns the per-slot content peers (nil for vacated
+// slots), aligned with the sim's configuration — the population an
+// exact engine view is built over.
+func (s *Sim) ContentPeers() []*peer.Peer {
+	out := make([]*peer.Peer, len(s.nodes))
+	for i, n := range s.nodes {
+		if n != nil {
+			out[i] = n.content
+		}
+	}
+	return out
 }
 
 // Messages returns the total number of messages exchanged so far
@@ -168,6 +252,9 @@ func (s *Sim) QueryPhase() {
 	// random remote ones), before any goroutine runs.
 	reach := s.reachableSets()
 	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
 		n.observed = make(map[workload.QID]map[cluster.CID]float64, len(n.demands))
 		n.ownRes = make(map[workload.QID]float64, len(n.demands))
 		n.contributed = make(map[cluster.CID]float64)
@@ -192,6 +279,9 @@ func (s *Sim) QueryPhase() {
 	// Responder goroutines serve their inboxes until closed.
 	var serveWG sync.WaitGroup
 	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
 		serveWG.Add(1)
 		go func(n *Node) {
 			defer serveWG.Done()
@@ -213,6 +303,9 @@ func (s *Sim) QueryPhase() {
 	// Asker goroutines flood their queries.
 	var askWG sync.WaitGroup
 	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
 		askWG.Add(1)
 		go func(n *Node) {
 			defer askWG.Done()
@@ -225,7 +318,7 @@ func (s *Sim) QueryPhase() {
 			for _, d := range n.demands {
 				q := s.wl.Query(d.Q)
 				for _, m := range s.nodes {
-					if m.id == n.id {
+					if m == nil || m.id == n.id {
 						continue
 					}
 					if allowed != nil && !allowed[m.cid] {
@@ -255,11 +348,15 @@ func (s *Sim) QueryPhase() {
 	}
 	askWG.Wait()
 	for _, n := range s.nodes {
-		close(n.inbox)
+		if n != nil {
+			close(n.inbox)
+		}
 	}
 	serveWG.Wait()
 	for _, n := range s.nodes {
-		n.inbox = make(chan queryMsg, 64) // fresh inbox for the next period
+		if n != nil {
+			n.inbox = make(chan queryMsg, 64) // fresh inbox for the next period
+		}
 	}
 }
 
@@ -272,6 +369,9 @@ func (s *Sim) reachableSets() []map[cluster.CID]bool {
 	nonEmpty := s.cfg.NonEmpty()
 	out := make([]map[cluster.CID]bool, len(s.nodes))
 	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
 		allowed := map[cluster.CID]bool{n.cid: true}
 		// Deterministic per (seed, period, peer) probe selection.
 		rng := stats.NewRNG(s.opts.ProbeSeed ^ uint64(s.period)<<24 ^ uint64(n.id)<<4 ^ 0x9e3779b9)
@@ -296,7 +396,7 @@ func (s *Sim) EstimatedPeerCost(id int, c cluster.CID) float64 {
 	if c != n.cid {
 		size++
 	}
-	cost := s.opts.Alpha * s.opts.Theta.F(size) / float64(len(s.nodes))
+	cost := s.opts.Alpha * s.opts.Theta.F(size) / float64(s.cfg.Live())
 	if n.demTot == 0 {
 		return cost
 	}
@@ -362,7 +462,7 @@ func (s *Sim) decide(id int) gainMsg {
 		if bestC != n.cid {
 			sz := s.cfg.Size(bestC)
 			delta := s.opts.Alpha * float64(sz) *
-				(s.opts.Theta.F(sz+1) - s.opts.Theta.F(sz)) / float64(len(s.nodes))
+				(s.opts.Theta.F(sz+1) - s.opts.Theta.F(sz)) / float64(s.cfg.Live())
 			gain := best - curContrib - delta
 			if gain > s.opts.Epsilon {
 				msg.to = bestC
@@ -393,6 +493,9 @@ func (s *Sim) ReformulationRound() RoundReport {
 	decisions := make([]gainMsg, len(s.nodes))
 	var wg sync.WaitGroup
 	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()

@@ -35,6 +35,7 @@ type Workload struct {
 	peerTot []int     // num(Q(p)) per peer
 	total   int       // num(Q)
 	version int
+	keyBuf  []byte // scratch for allocation-free Lookup probes
 }
 
 // New creates an empty workload over numPeers peers.
@@ -47,8 +48,21 @@ func New(numPeers int) *Workload {
 	}
 }
 
-// NumPeers returns the number of peers the workload spans.
+// NumPeers returns the number of peer slots the workload spans.
 func (w *Workload) NumPeers() int { return w.numPeers }
+
+// AddPeerSlot appends one peer slot with an empty local workload and
+// returns its ID. Dynamic membership grows the workload with the
+// cluster configuration; departed peers keep their slot (cleared by
+// ClearPeer) so IDs stay dense and stable.
+func (w *Workload) AddPeerSlot() int {
+	p := w.numPeers
+	w.numPeers++
+	w.perPeer = append(w.perPeer, nil)
+	w.peerTot = append(w.peerTot, 0)
+	w.version++
+	return p
+}
 
 // Version increments on every mutation.
 func (w *Workload) Version() int { return w.version }
@@ -67,6 +81,16 @@ func (w *Workload) Intern(q attr.Set) QID {
 	return id
 }
 
+// Lookup returns the QID of q when it is already interned, without
+// allocating (the probe key is built in a reused scratch buffer). The
+// membership engine uses it on the join hot path, where a churning
+// population re-issues mostly known queries.
+func (w *Workload) Lookup(q attr.Set) (QID, bool) {
+	w.keyBuf = q.AppendKey(w.keyBuf[:0])
+	id, ok := w.keys[string(w.keyBuf)]
+	return id, ok
+}
+
 // Query returns the attribute set of qid.
 func (w *Workload) Query(qid QID) attr.Set { return w.queries[qid] }
 
@@ -79,6 +103,30 @@ func (w *Workload) Add(p int, q attr.Set, count int) {
 		panic(fmt.Sprintf("workload: Add count=%d", count))
 	}
 	w.addQID(p, w.Intern(q), count)
+}
+
+// AddQID records count occurrences of the already-interned query qid
+// issued by peer p. The membership engine uses it to register a
+// joiner's workload without re-keying the query sets.
+func (w *Workload) AddQID(p int, qid QID, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("workload: AddQID count=%d", count))
+	}
+	if int(qid) < 0 || int(qid) >= len(w.queries) {
+		panic(fmt.Sprintf("workload: AddQID unknown query %d", qid))
+	}
+	w.addQID(p, qid, count)
+}
+
+// Count returns num(q, Q(p)) for one specific query: the multiplicity
+// of qid in peer p's local workload (0 when p never issued it).
+func (w *Workload) Count(p int, qid QID) int {
+	entries := w.perPeer[p]
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Q >= qid })
+	if i < len(entries) && entries[i].Q == qid {
+		return entries[i].Count
+	}
+	return 0
 }
 
 func (w *Workload) addQID(p int, qid QID, count int) {
@@ -114,13 +162,15 @@ func (w *Workload) GlobalCount(qid QID) int { return w.global[qid] }
 // Total returns num(Q).
 func (w *Workload) Total() int { return w.total }
 
-// ClearPeer removes peer p's entire local workload.
+// ClearPeer removes peer p's entire local workload. The entry slice's
+// capacity is retained so churn (clear + re-add at similar size) does
+// not reallocate.
 func (w *Workload) ClearPeer(p int) {
 	for _, e := range w.perPeer[p] {
 		w.global[e.Q] -= e.Count
 		w.total -= e.Count
 	}
-	w.perPeer[p] = nil
+	w.perPeer[p] = w.perPeer[p][:0]
 	w.peerTot[p] = 0
 	w.version++
 }

@@ -181,8 +181,14 @@ func (s *System) SocialCost() float64 { return s.eng.SCostNormalized() }
 // WorkloadCost returns the normalized workload cost (Eq. 3).
 func (s *System) WorkloadCost() float64 { return s.eng.WCostNormalized() }
 
-// NumPeers returns |P|.
+// NumPeers returns the live |P|: the number of peers currently in the
+// system. After a Leave this is smaller than NumSlots; iterate slots
+// with NumSlots+IsLive to visit every live peer.
 func (s *System) NumPeers() int { return s.eng.NumPeers() }
+
+// NumSlots returns the number of peer slots ever allocated (live or
+// vacated). Peer IDs lie in [0, NumSlots()).
+func (s *System) NumSlots() int { return s.eng.NumSlots() }
 
 // NumClusters returns the number of non-empty clusters.
 func (s *System) NumClusters() int { return s.eng.Config().NumNonEmpty() }
@@ -190,12 +196,17 @@ func (s *System) NumClusters() int { return s.eng.Config().NumNonEmpty() }
 // ClusterSizes returns the sorted sizes of all non-empty clusters.
 func (s *System) ClusterSizes() []int { return s.eng.Config().Sizes() }
 
-// ClusterOf returns the cluster ID of a peer.
+// ClusterOf returns the cluster ID of a peer, or -1 for a vacated
+// slot.
 func (s *System) ClusterOf(peer int) int32 { return int32(s.eng.Config().ClusterOf(peer)) }
 
 // PeerCost returns peer p's individual cost in its current cluster
-// (Eq. 1).
+// (Eq. 1). It panics on a vacated slot; guard iteration over
+// [0, NumSlots()) with IsLive.
 func (s *System) PeerCost(p int) float64 {
+	if !s.eng.IsLive(p) {
+		panic(fmt.Sprintf("reform: peer %d is not live", p))
+	}
 	return s.eng.PeerCost(p, s.eng.Config().ClusterOf(p))
 }
 
@@ -227,12 +238,33 @@ func (s *System) ReplaceContent(p int, cat int, frac float64) {
 }
 
 // ChurnPeer replaces the peer at slot p with a newcomer whose data and
-// interests are in the given category.
+// interests are in the given category. The slot keeps its cluster; use
+// Join/Leave for true membership changes.
 func (s *System) ChurnPeer(p int, cat int) {
 	s.sys.ReplacePeerIdentity(p, cat, cat, s.rng)
 	s.eng.Rebuild()
 	s.runner.BeginPeriod()
 }
+
+// Join admits a brand-new peer with content and interests in category
+// cat. The newcomer starts as a singleton cluster and is integrated by
+// the next reformulation run; the join itself is incremental (no
+// engine rebuild). It returns the new peer's ID.
+func (s *System) Join(cat int) int {
+	pid := s.sys.JoinPeer(s.eng, cat, cat, s.rng)
+	s.runner.BeginPeriod()
+	return pid
+}
+
+// Leave retires peer pid from the system incrementally (no engine
+// rebuild); its slot is reused by the next joiner.
+func (s *System) Leave(pid int) {
+	s.sys.LeavePeer(s.eng, pid)
+	s.runner.BeginPeriod()
+}
+
+// IsLive reports whether slot pid currently holds a peer.
+func (s *System) IsLive(pid int) bool { return s.eng.IsLive(pid) }
 
 // ActorSim builds the concurrent goroutine-per-peer realization of the
 // protocol over a clone of the current configuration. The returned
