@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
+	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/peer"
@@ -26,11 +28,39 @@ type benchResult struct {
 
 // benchReport is the BENCH.json schema: the engine microbenchmarks
 // plus one macrobenchmark per worker setting, so the perf trajectory
-// of the hot paths is tracked across PRs.
+// of the hot paths is tracked across PRs. The runner class (GOOS,
+// GOARCH, CPU model) is recorded so the comparator knows whether
+// ns/op numbers from two reports are comparable at all.
 type benchReport struct {
 	Scale      int           `json:"scale"`
 	Peers      int           `json:"peers"`
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// cpuModel best-effort identifies the CPU for the runner class. An
+// empty string means "unknown" and disables same-class ns/op gating.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
+// sameRunnerClass reports whether two reports were produced on
+// comparable hardware, making their ns/op numbers comparable.
+func sameRunnerClass(a, b benchReport) bool {
+	return a.GOARCH != "" && a.CPU != "" && a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.CPU == b.CPU
 }
 
 // gatedBenchmarks are the pinned hot-path benchmarks the regression
@@ -40,6 +70,7 @@ type benchReport struct {
 // their wall-clock depends on CI core counts.
 var gatedBenchmarks = []string{
 	"EvaluateMoves", "EvaluateContribution", "PeerCost", "Move", "SCost", "AddRemovePeer",
+	"CompactCycle",
 }
 
 // benchRegressionTolerance is the allowed ns/op growth factor.
@@ -65,7 +96,13 @@ func runBenchCommand(args []string) {
 	rng := stats.NewRNG(1)
 	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
 
-	report := benchReport{Scale: *scale, Peers: p.Peers}
+	report := benchReport{
+		Scale:  *scale,
+		Peers:  p.Peers,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPU:    cpuModel(),
+	}
 	record := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		report.Benchmarks = append(report.Benchmarks, benchResult{
@@ -130,6 +167,26 @@ func runBenchCommand(args []string) {
 			eng.RemovePeer(id)
 		}
 	})
+	record("CompactCycle", func(b *testing.B) {
+		// One full unbounded-uptime cycle: a joiner interning a novel
+		// query, its departure stranding it, and an in-place workload
+		// compaction reclaiming the row.
+		b.ReportAllocs()
+		items, queries, counts := sys.NewcomerMaterials(0, 0, 0, stats.NewRNG(8))
+		queries = append(queries, attr.NewSet(attr.ID(1<<20)))
+		counts = append(counts, 1)
+		pr := peer.New(-1)
+		pr.SetItems(items)
+		id := eng.AddPeer(pr, queries, counts, cluster.None)
+		eng.RemovePeer(id)
+		eng.Compact(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := eng.AddPeer(pr, queries, counts, cluster.None)
+			eng.RemovePeer(id)
+			eng.Compact(0)
+		}
+	})
 	record("Table1Serial", func(b *testing.B) {
 		b.ReportAllocs()
 		pp := p
@@ -174,10 +231,15 @@ func runBenchCommand(args []string) {
 
 // compareBaseline diffs the fresh report against a stored baseline
 // over the pinned hot-path benchmarks and returns an error when any
-// regresses (ns/op beyond the tolerance, or allocs/op growth — allocs
-// are deterministic, so any increase is a real regression). Names
-// present on only one side are reported but never gated, so adding a
-// benchmark does not require regenerating every baseline first.
+// regresses. Allocs/op are gated unconditionally: they are
+// deterministic, so any increase is a real regression on any
+// hardware. Ns/op is hardware-relative, so it is gated (beyond the
+// tolerance) only when the baseline was produced on the same runner
+// class — same GOOS/GOARCH/CPU model — and degrades to a warning
+// otherwise (a baseline from a dev container must not flake CI whose
+// runners have different silicon). Names present on only one side are
+// reported but never gated, so adding a benchmark does not require
+// regenerating every baseline first.
 func compareBaseline(path string, fresh benchReport, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -196,9 +258,15 @@ func compareBaseline(path string, fresh benchReport, w io.Writer) error {
 	}
 	bm, fm := index(base), index(fresh)
 
+	gateNs := sameRunnerClass(base, fresh)
+	if gateNs {
+		fmt.Fprintf(w, "bench gate vs %s (same runner class %s/%s %q: tolerance %.0f%% ns/op, 0 allocs/op growth):\n",
+			path, base.GOOS, base.GOARCH, base.CPU, (benchRegressionTolerance-1)*100)
+	} else {
+		fmt.Fprintf(w, "bench gate vs %s (baseline class %s/%s %q vs fresh %s/%s %q: ns/op informational only, 0 allocs/op growth gated):\n",
+			path, base.GOOS, base.GOARCH, base.CPU, fresh.GOOS, fresh.GOARCH, fresh.CPU)
+	}
 	var failures []string
-	fmt.Fprintf(w, "bench gate vs %s (tolerance %.0f%% ns/op, 0 allocs/op growth):\n",
-		path, (benchRegressionTolerance-1)*100)
 	for _, name := range gatedBenchmarks {
 		b, okB := bm[name]
 		f, okF := fm[name]
@@ -212,9 +280,13 @@ func compareBaseline(path string, fresh benchReport, w io.Writer) error {
 		}
 		var verdicts []string
 		if f.NsPerOp > b.NsPerOp*benchRegressionTolerance {
-			verdicts = append(verdicts, "NS/OP REGRESSION")
-			failures = append(failures, fmt.Sprintf("%s ns/op %.1f -> %.1f (%.0f%%)",
-				name, b.NsPerOp, f.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1)))
+			if gateNs {
+				verdicts = append(verdicts, "NS/OP REGRESSION")
+				failures = append(failures, fmt.Sprintf("%s ns/op %.1f -> %.1f (%.0f%%)",
+					name, b.NsPerOp, f.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1)))
+			} else {
+				verdicts = append(verdicts, "ns/op grew (not gated: runner class differs)")
+			}
 		}
 		if f.AllocsPerOp > b.AllocsPerOp {
 			verdicts = append(verdicts, "ALLOCS REGRESSION")

@@ -14,7 +14,7 @@
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
-// churn, flashcrowd, lookup, routing, multicluster, all.
+// churn, flashcrowd, longhaul, lookup, routing, multicluster, all.
 //
 // Experiment cells run on a worker pool (default: one per CPU; see
 // -workers). Outputs are deterministic per seed for every worker
@@ -24,8 +24,11 @@
 // committed BENCH_BASELINE.json and exits nonzero on regression (the
 // same gate CI runs). The serve subcommand exposes the overlay over
 // HTTP: POST /peers (join), DELETE /peers/{id} (leave), POST /query,
-// GET /stats and GET /snapshot, with reformulation on a ticker and
-// snapshot/restore across restarts.
+// POST /reform, POST /compact, GET /stats and GET /snapshot, with
+// reformulation and workload compaction on tickers and
+// snapshot/restore across restarts; in-place compaction bounds memory
+// by the live query set, so the daemon runs indefinitely under
+// novel-query churn.
 package main
 
 import (
@@ -82,6 +85,7 @@ func main() {
 		"discovery":      func() { out.table(experiments.RunKMeansDiscovery(p)) },
 		"churn":          func() { out.series(experiments.RunChurn(p, 10, 0.05)) },
 		"flashcrowd":     func() { out.table(experiments.RunFlashCrowd(p, nil)) },
+		"longhaul":       func() { out.table(experiments.RunLongHaul(p, 0, nil)) },
 		"lookup":         func() { out.table(experiments.RunLookupCost(p)) },
 		"routing":        func() { out.table(experiments.RunRoutingAblation(p)) },
 		"multicluster":   func() { out.table(experiments.RunMultiClusterAnalysis(p, 4)) },
@@ -90,7 +94,7 @@ func main() {
 		"table1", "fig1", "fig2", "fig3", "fig4", "counterexample",
 		"theta", "epsilon", "hybrid", "paired", "clgain", "shared",
 		"async", "baseline", "discovery", "churn", "flashcrowd",
-		"lookup", "routing", "multicluster",
+		"longhaul", "lookup", "routing", "multicluster",
 	}
 
 	name := strings.ToLower(*exp)

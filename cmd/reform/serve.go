@@ -27,6 +27,9 @@ func runServeCommand(args []string) {
 	reformEvery := fs.Duration("reform", 30*time.Second, "maintenance period length (0 disables the ticker)")
 	snapshot := fs.String("snapshot", "", "snapshot file; loaded at startup when present, written periodically and on shutdown")
 	snapshotEvery := fs.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (needs -snapshot)")
+	compactEvery := fs.Duration("compact-every", time.Minute, "workload-compaction check interval (0: only after maintenance periods and via POST /compact)")
+	compactRatio := fs.Float64("compact-ratio", 0.5, "dead-QID fraction above which a check compacts (negative: compact whenever any dead query exists)")
+	compactMin := fs.Int("compact-min", 64, "suppress threshold compactions below this many distinct queries")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "reform-serve ", log.LstdFlags)
@@ -37,15 +40,21 @@ func runServeCommand(args []string) {
 		if (f.Name == "alpha" && *alpha == 0) || (f.Name == "epsilon" && *epsilon == 0) {
 			logger.Fatalf("-%s 0 is not supported (0 selects the default); pass a positive value", f.Name)
 		}
+		if f.Name == "compact-ratio" && *compactRatio == 0 {
+			logger.Fatalf("-compact-ratio 0 is not supported (0 selects the default 0.5); pass a negative value to compact whenever any dead query exists")
+		}
 	})
 	cfg := service.Config{
-		Alpha:         *alpha,
-		Epsilon:       *epsilon,
-		MaxRounds:     *maxRounds,
-		ReformEvery:   *reformEvery,
-		SnapshotPath:  *snapshot,
-		SnapshotEvery: *snapshotEvery,
-		Logf:          logger.Printf,
+		Alpha:             *alpha,
+		Epsilon:           *epsilon,
+		MaxRounds:         *maxRounds,
+		ReformEvery:       *reformEvery,
+		SnapshotPath:      *snapshot,
+		SnapshotEvery:     *snapshotEvery,
+		CompactEvery:      *compactEvery,
+		CompactDeadRatio:  *compactRatio,
+		CompactMinQueries: *compactMin,
+		Logf:              logger.Printf,
 	}
 
 	var srv *service.Server

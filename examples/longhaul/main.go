@@ -1,0 +1,62 @@
+// Command longhaul demonstrates unbounded-uptime operation: a live
+// system under permanent session churn whose newcomers keep
+// introducing never-before-seen queries. Distinct queries intern
+// engine rows forever, so without intervention memory grows with
+// query history; in-place workload compaction (CompactWorkload)
+// reclaims the rows of dead queries whenever they outnumber the live
+// ones, keeping the footprint proportional to live demand while
+// preserving every cost exactly.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	sys := reform.New(reform.Options{
+		Peers:               60,
+		Categories:          6,
+		StartFromCategories: true,
+		AllowNewClusters:    true,
+		Seed:                7,
+	})
+	sys.Run()
+	fmt.Printf("settled: %d peers, %d clusters, %d distinct queries, scost %.4f\n",
+		sys.NumPeers(), sys.NumClusters(), sys.NumDistinctQueries(), sys.SocialCost())
+
+	peak := sys.NumDistinctQueries()
+	reclaimed, compactions := 0, 0
+	for epoch := 1; epoch <= 8; epoch++ {
+		// A wave of sessions: newcomers join (fresh documents, fresh
+		// interests — novel query words intern new QIDs), reformulation
+		// integrates them, then the wave departs and strands its QIDs.
+		var wave []int
+		for i := 0; i < 12; i++ {
+			wave = append(wave, sys.Join(i%6))
+		}
+		sys.Run()
+		for _, pid := range wave {
+			sys.Leave(pid)
+		}
+		sys.Run()
+		if q := sys.NumDistinctQueries(); q > peak {
+			peak = q
+		}
+		// The serve daemon's policy: compact when dead QIDs outnumber
+		// live ones. Costs are untouched — compaction is invisible.
+		if 2*sys.DeadQueries() > sys.NumDistinctQueries() {
+			before := sys.SocialCost()
+			reclaimed += sys.CompactWorkload()
+			compactions++
+			if sys.SocialCost() != before {
+				panic("compaction changed a cost")
+			}
+		}
+		fmt.Printf("epoch %d: %d distinct queries live (%d dead), peak %d, scost %.4f\n",
+			epoch, sys.NumDistinctQueries(), sys.DeadQueries(), peak, sys.SocialCost())
+	}
+	fmt.Printf("compacted %d times, reclaimed %d query rows; footprint bounded at %d (peak %d)\n",
+		compactions, reclaimed, sys.NumDistinctQueries(), peak)
+}

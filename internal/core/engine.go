@@ -154,9 +154,14 @@ type Engine struct {
 	queriesByAttr  map[attr.ID][]workload.QID
 	demanders      [][]int32
 	indexedQueries int
+	// demSpare parks the emptied demander rows of compacted-away
+	// queries so growDemanders can hand their capacity to future
+	// queries (see compact.go).
+	demSpare [][]int32
 
-	wlVersion  int
-	cfgVersion int
+	wlVersion     int
+	wlCompactions int
+	cfgVersion    int
 }
 
 // New builds an engine over the given peers, workload and initial
@@ -364,6 +369,7 @@ func (e *Engine) Rebuild() {
 	}
 
 	e.wlVersion = e.wl.Version()
+	e.wlCompactions = e.wl.Compactions()
 	e.cfgVersion = e.cfg.MembershipVersion()
 }
 

@@ -133,10 +133,27 @@ func (e *Engine) growRows() {
 	e.clusterRes = padFloats(e.clusterRes, flat)
 	e.clusterDemand = padFloats(e.clusterDemand, flat)
 	e.demandW = padFloats(e.demandW, flat)
+	e.growDemanders(nq)
+	e.nq = nq
+}
+
+// growDemanders extends the demanders index to nq rows. Rows exposed
+// by regrowing within capacity are reset to length zero but keep
+// their backing arrays: compaction parks the emptied rows of removed
+// queries past the live length exactly so the next novel query reuses
+// them instead of allocating.
+func (e *Engine) growDemanders(nq int) {
+	if cap(e.demanders) >= nq {
+		old := len(e.demanders)
+		e.demanders = e.demanders[:nq]
+		for i := old; i < nq; i++ {
+			e.demanders[i] = e.demanders[i][:0]
+		}
+		return
+	}
 	for len(e.demanders) < nq {
 		e.demanders = append(e.demanders, nil)
 	}
-	e.nq = nq
 }
 
 // restride re-lays the flat aggregates for a wider column capacity,

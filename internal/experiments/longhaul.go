@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunLongHaul is the unbounded-uptime sweep: session churn whose
+// newcomers issue novel queries, which is the workload that grows
+// QID-indexed engine state with query history rather than with the
+// live population. Each phase replaces `churn` random peers with
+// newcomers (two never-before-seen query words apiece, via the
+// incremental membership path), runs one maintenance period, and
+// compacts in place whenever the dead-QID ratio exceeds 0.5 — the
+// serve daemon's policy. The table records, per churn intensity, the
+// peak and final distinct-query counts (bounded memory: the final
+// count equals the live demand, not the phase history), the
+// compaction count and total queries reclaimed, and the worst
+// social-cost perturbation observed across a compaction (zero: the
+// remap must preserve costs exactly).
+//
+// One row per churn intensity; cells run on the worker pool, each
+// over a private system, and are byte-identical for every worker
+// count.
+func RunLongHaul(p Params, phases int, churns []int) *metrics.Table {
+	if phases <= 0 {
+		phases = 12
+	}
+	if len(churns) == 0 {
+		churns = []int{maxInt(1, p.Peers/20), maxInt(2, p.Peers/10), maxInt(4, p.Peers/4)}
+	}
+	t := metrics.NewTable("Extension: long-haul novel-query churn with in-place compaction",
+		"churn/phase", "phases", "peak-queries", "final-queries", "live-queries",
+		"compactions", "reclaimed", "compact-drift", "scost-final", "clusters")
+	for _, r := range p.runRows(len(churns), func(i int) []string {
+		churn := churns[i]
+		sys := Build(p, SameCategory)
+		eng := sys.NewEngine(sys.CategoryConfig())
+		runner := sys.NewRunner(eng, core.NewSelfish(), true)
+		rng := stats.NewRNG(p.Seed ^ 0x2545f4914f6cdd1d ^ uint64(churn)<<24)
+
+		peak := sys.WL.NumQueries()
+		compactions, reclaimed := 0, 0
+		drift := 0.0
+		var live []int
+		for phase := 1; phase <= phases; phase++ {
+			for c := 0; c < churn; c++ {
+				live = live[:0]
+				for pid := 0; pid < eng.NumSlots(); pid++ {
+					if eng.IsLive(pid) {
+						live = append(live, pid)
+					}
+				}
+				sys.LeavePeer(eng, live[rng.Intn(len(live))])
+				cat := rng.Intn(p.Categories)
+				sys.JoinPeerNovel(eng, cat, cat, 2, rng)
+			}
+			runner.Run()
+			if nq := sys.WL.NumQueries(); nq > peak {
+				peak = nq
+			}
+			if nq := sys.WL.NumQueries(); nq >= 2 && eng.DeadQueries(0)*2 > nq {
+				before := eng.SCostNormalized()
+				reclaimed += eng.Compact(0)
+				compactions++
+				if d := math.Abs(eng.SCostNormalized() - before); d > drift {
+					drift = d
+				}
+			}
+		}
+		final := sys.WL.NumQueries()
+		liveQ := final - eng.DeadQueries(0)
+		return []string{
+			metrics.I(churn), metrics.I(phases), metrics.I(peak), metrics.I(final),
+			metrics.I(liveQ), metrics.I(compactions), metrics.I(reclaimed),
+			metrics.F(drift, 12), metrics.F(eng.SCostNormalized(), 4),
+			metrics.I(eng.Config().NumNonEmpty()),
+		}
+	}) {
+		t.AddRow(r...)
+	}
+	return t
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// longHaulCell parses one RunLongHaul row into named integers.
+func longHaulCell(t *testing.T, row []string) (peak, final, liveQ, compactions, reclaimed int, drift string) {
+	t.Helper()
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", s, err)
+		}
+		return n
+	}
+	return atoi(row[2]), atoi(row[3]), atoi(row[4]), atoi(row[5]), atoi(row[6]), row[7]
+}
+
+// TestLongHaulBoundsMemory pins the sweep's reason to exist: under
+// novel-query churn the peak distinct-query count grows well past the
+// live demand, compaction fires repeatedly, the final count collapses
+// back to (near) the live set, and no compaction perturbs the social
+// cost by even one ulp.
+func TestLongHaulBoundsMemory(t *testing.T) {
+	p := fastParams()
+	p.Peers = 40
+	p.TotalQueries = 240
+	p.MaxRounds = 60
+	p.Workers = 1
+
+	const phases, churn = 16, 12
+	tab := RunLongHaul(p, phases, []int{churn})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	peak, final, liveQ, compactions, reclaimed, drift := longHaulCell(t, tab.Rows[0])
+	// 16 phases x 12 churned peers x 2 novel queries = 384 novel
+	// interns over a live demand of ~120 distinct queries.
+	if peak < liveQ+100 {
+		t.Fatalf("peak %d barely above live %d; churn did not grow query history", peak, liveQ)
+	}
+	if compactions < 2 {
+		t.Fatalf("only %d compactions across %d phases", compactions, phases)
+	}
+	if reclaimed < 200 {
+		t.Fatalf("only %d queries reclaimed", reclaimed)
+	}
+	// Bounded memory: the final interned set must sit near the live
+	// demand — below the 0.5 dead-ratio retrigger point and nowhere
+	// near the phase history the peak witnessed.
+	if final >= peak {
+		t.Fatalf("final %d did not drop from peak %d", final, peak)
+	}
+	if final > 2*liveQ {
+		t.Fatalf("final %d queries for %d live; compaction floor too high", final, liveQ)
+	}
+	if f, err := strconv.ParseFloat(drift, 64); err != nil || f != 0 {
+		t.Fatalf("compaction perturbed the social cost: drift=%q", drift)
+	}
+}
+
+// TestLongHaulParallelMatchesSerial extends the harness determinism
+// pin to the long-haul sweep: the worker count must not change a byte
+// of the output.
+func TestLongHaulParallelMatchesSerial(t *testing.T) {
+	p := fastParams()
+	p.Peers = 30
+	p.TotalQueries = 180
+	p.MaxRounds = 40
+
+	serial := p
+	serial.Workers = 1
+	parallel := p
+	parallel.Workers = 4
+
+	a := RunLongHaul(serial, 6, []int{3, 6})
+	b := RunLongHaul(parallel, 6, []int{3, 6})
+	if a.CSV() != b.CSV() {
+		t.Fatalf("worker count changed the long-haul output:\nserial:\n%s\nparallel:\n%s",
+			strings.TrimSpace(a.CSV()), strings.TrimSpace(b.CSV()))
+	}
+}

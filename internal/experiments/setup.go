@@ -219,6 +219,9 @@ type System struct {
 	// typePools mirrors pools per (dataCat, queryCat) peer type; only
 	// populated for the different-category scenario under PairedDemand.
 	typePools map[[2]int][]attr.ID
+	// novelSeq numbers the never-before-seen query words JoinPeerNovel
+	// mints for the long-haul churn sweep.
+	novelSeq int
 }
 
 // Build constructs the System for a scenario.

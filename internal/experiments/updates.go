@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -155,6 +157,32 @@ func (s *System) NewcomerMaterials(dataCat, queryCat, demand int, rng *stats.RNG
 // category bookkeeping aligned. It returns the assigned peer ID.
 func (s *System) JoinPeer(eng *core.Engine, dataCat, queryCat int, rng *stats.RNG) int {
 	items, queries, counts := s.NewcomerMaterials(dataCat, queryCat, 0, rng)
+	pr := peer.New(-1)
+	pr.SetItems(items)
+	pid := eng.AddPeer(pr, queries, counts, cluster.None)
+	s.Peers = eng.Peers()
+	for len(s.DataCat) < len(s.Peers) {
+		s.DataCat = append(s.DataCat, -1)
+		s.QueryCat = append(s.QueryCat, -1)
+	}
+	s.DataCat[pid], s.QueryCat[pid] = dataCat, queryCat
+	return pid
+}
+
+// JoinPeerNovel admits a newcomer like JoinPeer, except `novel` of
+// its distinct query words are brand new to the system — drawn from a
+// private namespace no document or earlier query uses, so each join
+// interns fresh QIDs that strand (global count 0) when the peer
+// departs. This is the open-ended pattern the long-haul sweep uses to
+// grow query history without growing live demand.
+func (s *System) JoinPeerNovel(eng *core.Engine, dataCat, queryCat, novel int, rng *stats.RNG) int {
+	items, queries, counts := s.NewcomerMaterials(dataCat, queryCat, 0, rng)
+	for k := 0; k < novel; k++ {
+		s.novelSeq++
+		w := s.Gen.Vocab().Intern(fmt.Sprintf("novel!%d", s.novelSeq))
+		queries = append(queries, attr.NewSet(w))
+		counts = append(counts, 1)
+	}
 	pr := peer.New(-1)
 	pr.SetItems(items)
 	pid := eng.AddPeer(pr, queries, counts, cluster.None)

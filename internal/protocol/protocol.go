@@ -94,6 +94,14 @@ func DefaultOptions() Options {
 // reusable per-round scratch (request list, lock tables, non-empty
 // cluster list), so steady-state rounds allocate only their report
 // data. A Runner, like its engine, is not safe for concurrent use.
+//
+// Workload compaction (Engine.Compact) may run mid-period: it
+// preserves every individual cost exactly, so the per-peer baselines
+// the drift rule compares against stay valid, and the runner keys no
+// state by QID — the engine remaps its own QID-indexed aggregates, so
+// a QID reused by a later novel query can never inherit protocol
+// state from the query that previously held it (the same hazard the
+// per-slot join generations solve for reused peer slots).
 type Runner struct {
 	eng      *core.Engine
 	strategy core.Strategy

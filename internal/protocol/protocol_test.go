@@ -309,3 +309,61 @@ func TestMidPeriodJoinGetsNaNBaseline(t *testing.T) {
 		t.Error("pre-existing peer 0 lost its baseline")
 	}
 }
+
+// churnNovel joins then retires a throwaway peer whose workload is the
+// novel single-attribute query `id`, leaving a dead QID behind.
+func churnNovel(eng *core.Engine, id attr.ID) {
+	pr := peer.New(-1)
+	pr.SetItems([]attr.Set{attr.NewSet(id)})
+	pid := eng.AddPeer(pr, []attr.Set{attr.NewSet(id)}, []int{3}, cluster.None)
+	eng.RemovePeer(pid)
+}
+
+// TestMidPeriodCompactionIsInvisible pins the compaction/protocol
+// contract: compacting dead QIDs between rounds — mid-period, without
+// re-snapshotting baselines — changes nothing about the run. Two
+// identical systems churn identically; one compacts after round 1;
+// every subsequent round must grant the same moves at the same costs.
+func TestMidPeriodCompactionIsInvisible(t *testing.T) {
+	mk := func() (*core.Engine, *Runner) {
+		eng := grouped(t, 3, 5)
+		for i := 0; i < 20; i++ {
+			churnNovel(eng, attr.ID(1000+i))
+		}
+		return eng, NewRunner(eng, core.NewSelfish(), Options{Epsilon: 0.001, MaxRounds: 50, AllowNewClusters: true})
+	}
+	engA, ra := mk()
+	engB, rb := mk()
+	ra.BeginPeriod()
+	rb.BeginPeriod()
+	ra.RunRound(1)
+	rb.RunRound(1)
+
+	if engB.DeadQueries(0) == 0 {
+		t.Fatal("churn left no dead queries")
+	}
+	if engB.Compact(0) == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	// Reclaimed QIDs get reused by fresh novel queries on both sides;
+	// on B they overlay compacted rows, on A they extend the arrays.
+	churnNovel(engA, 2000)
+	churnNovel(engB, 2000)
+
+	for round := 2; round <= 10; round++ {
+		rrA := ra.RunRound(round)
+		rrB := rb.RunRound(round)
+		if rrA.SCost != rrB.SCost || rrA.WCost != rrB.WCost {
+			t.Fatalf("round %d: costs diverged: scost %v vs %v, wcost %v vs %v",
+				round, rrA.SCost, rrB.SCost, rrA.WCost, rrB.WCost)
+		}
+		if len(rrA.Moves) != len(rrB.Moves) {
+			t.Fatalf("round %d: %d vs %d moves", round, len(rrA.Moves), len(rrB.Moves))
+		}
+		for i := range rrA.Moves {
+			if rrA.Moves[i] != rrB.Moves[i] {
+				t.Fatalf("round %d move %d: %+v vs %+v", round, i, rrA.Moves[i], rrB.Moves[i])
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	DELETE /peers/{id}  retire a peer
 //	POST   /query       evaluate a query against the live population
 //	POST   /reform      run one maintenance period now
+//	POST   /compact     retire dead workload queries now
 //	GET    /stats       live system metrics
 //	GET    /snapshot    full serialized state (the snapshot format)
 //
@@ -22,13 +23,18 @@
 // graceful shutdown let the overlay survive restarts: a new process
 // restored from a snapshot serves the same peers, clusters and costs.
 //
-// Known limitation: distinct queries are interned forever — a leave
-// withdraws a peer's demand counts but keeps the query's (empty) rows,
-// so a very long-lived daemon whose churning peers issue ever-novel
-// queries grows memory with the distinct-query count. A snapshot
-// restore compacts this (only live peers' queries are re-interned), so
-// periodic restarts — which the snapshot machinery makes lossless —
-// bound the growth; in-place compaction is future work (see ROADMAP).
+// # Long-running operation
+//
+// Distinct queries intern QIDs, and every QID owns a row in the cost
+// engine's aggregates — under open-ended churn with novel queries that
+// state grows with query history, not with the live population. The
+// daemon therefore compacts in place (Engine.Compact: dead QIDs are
+// retired and the survivors densely renumbered) whenever the dead-QID
+// ratio crosses CompactDeadRatio, checked on the CompactEvery ticker
+// and after every maintenance period; POST /compact forces one
+// immediately. Compaction preserves every cost and answer exactly, so
+// it is invisible to clients; with it the daemon's memory is bounded
+// by its live query set and reform serve runs indefinitely.
 package service
 
 import (
@@ -66,6 +72,18 @@ type Config struct {
 	SnapshotPath string
 	// SnapshotEvery is the snapshot period (0: only on shutdown).
 	SnapshotEvery time.Duration
+	// CompactEvery drives workload-compaction checks on a ticker; 0
+	// disables the ticker (the check still runs after every
+	// maintenance period, and POST /compact forces a compaction).
+	CompactEvery time.Duration
+	// CompactDeadRatio is the dead-QID fraction above which a check
+	// compacts; 0 means the default 0.5. A negative value compacts
+	// whenever any dead query exists (an always-compact policy).
+	CompactDeadRatio float64
+	// CompactMinQueries suppresses threshold compactions while the
+	// workload has fewer distinct queries than this (tiny workloads
+	// flap around any ratio); 0 means the default 64.
+	CompactMinQueries int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -82,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 300
+	}
+	if c.CompactDeadRatio == 0 {
+		c.CompactDeadRatio = 0.5
+	}
+	if c.CompactMinQueries == 0 {
+		c.CompactMinQueries = 64
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -103,6 +127,10 @@ type Server struct {
 	moves   int // granted relocations
 	joins   int
 	leaves  int
+	// compactions is the daemon's compaction generation (carried
+	// across snapshot restores); compacted counts retired queries.
+	compactions int
+	compacted   int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -144,6 +172,14 @@ func (s *Server) Start() {
 			}
 		})
 	}
+	if s.cfg.CompactEvery > 0 {
+		s.wg.Add(1)
+		go s.tick(s.cfg.CompactEvery, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.maybeCompactLocked()
+		})
+	}
 }
 
 func (s *Server) tick(every time.Duration, fn func()) {
@@ -171,7 +207,9 @@ func (s *Server) Shutdown() error {
 	return nil
 }
 
-// Reform runs one maintenance period now and returns its report.
+// Reform runs one maintenance period now and returns its report. A
+// threshold compaction check rides along: maintenance periods are the
+// natural cadence at which churned-away demand accumulates.
 func (s *Server) Reform() protocol.Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -179,7 +217,45 @@ func (s *Server) Reform() protocol.Report {
 	s.reforms++
 	s.rounds += rpt.RoundsRun
 	s.moves += countMoves(rpt)
+	s.maybeCompactLocked()
 	return rpt
+}
+
+// Compact retires dead queries now, regardless of the dead-QID ratio.
+// It returns how many were removed, the surviving distinct-query
+// count, and the daemon's compaction generation — the same triple
+// POST /compact reports.
+func (s *Server) Compact() (removed, queries, generation int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed = s.compactLocked()
+	return removed, s.eng.Workload().NumQueries(), s.compactions
+}
+
+// maybeCompactLocked compacts when the dead-QID ratio crosses the
+// configured threshold. Callers hold s.mu.
+func (s *Server) maybeCompactLocked() {
+	total := s.eng.Workload().NumQueries()
+	if total < s.cfg.CompactMinQueries {
+		return
+	}
+	dead := s.eng.DeadQueries(0)
+	if dead == 0 || float64(dead) <= s.cfg.CompactDeadRatio*float64(total) {
+		return
+	}
+	s.compactLocked()
+}
+
+func (s *Server) compactLocked() int {
+	before := s.eng.Workload().NumQueries()
+	removed := s.eng.Compact(0)
+	if removed > 0 {
+		s.compactions++
+		s.compacted += removed
+		s.cfg.Logf("compact: %d -> %d distinct queries (generation %d)",
+			before, s.eng.Workload().NumQueries(), s.compactions)
+	}
+	return removed
 }
 
 func countMoves(rpt protocol.Report) int {
@@ -198,6 +274,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /peers/{id}", s.handleLeave)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /reform", s.handleReform)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	return mux
@@ -394,22 +471,34 @@ func (s *Server) handleReform(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	removed, queries, generation := s.Compact()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"removed":     removed,
+		"queries":     queries,
+		"compactions": generation,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"peers":          s.eng.NumPeers(),
-		"slots":          s.eng.NumSlots(),
-		"clusters":       s.eng.Config().NumNonEmpty(),
-		"queries":        s.eng.Workload().NumQueries(),
-		"scost":          s.eng.SCostNormalized(),
-		"wcost":          s.eng.WCostNormalized(),
-		"reforms":        s.reforms,
-		"rounds":         s.rounds,
-		"moves":          s.moves,
-		"joins":          s.joins,
-		"leaves":         s.leaves,
-		"uptime_seconds": time.Since(s.started).Seconds(),
+		"peers":             s.eng.NumPeers(),
+		"slots":             s.eng.NumSlots(),
+		"clusters":          s.eng.Config().NumNonEmpty(),
+		"queries":           s.eng.Workload().NumQueries(),
+		"dead_queries":      s.eng.DeadQueries(0),
+		"compactions":       s.compactions,
+		"compacted_queries": s.compacted,
+		"scost":             s.eng.SCostNormalized(),
+		"wcost":             s.eng.WCostNormalized(),
+		"reforms":           s.reforms,
+		"rounds":            s.rounds,
+		"moves":             s.moves,
+		"joins":             s.joins,
+		"leaves":            s.leaves,
+		"uptime_seconds":    time.Since(s.started).Seconds(),
 	})
 }
 

@@ -24,11 +24,16 @@ const snapshotVersion = 1
 // processes). Slots records the total slot count so peer IDs survive
 // a restore even with vacated slots in between.
 type Snapshot struct {
-	Version int            `json:"version"`
-	Alpha   float64        `json:"alpha"`
-	Epsilon float64        `json:"epsilon"`
-	Slots   int            `json:"slots"`
-	Peers   []PeerSnapshot `json:"peers"`
+	Version int     `json:"version"`
+	Alpha   float64 `json:"alpha"`
+	Epsilon float64 `json:"epsilon"`
+	Slots   int     `json:"slots"`
+	// Compactions is the daemon's compaction generation at snapshot
+	// time. Restores carry it forward so operational counters survive
+	// restarts; the peer state needs nothing else — a restore
+	// re-interns only live queries and is itself maximally compact.
+	Compactions int            `json:"compactions,omitempty"`
+	Peers       []PeerSnapshot `json:"peers"`
 }
 
 // PeerSnapshot is one live peer's state.
@@ -44,11 +49,12 @@ func (s *Server) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := &Snapshot{
-		Version: snapshotVersion,
-		Alpha:   s.cfg.Alpha,
-		Epsilon: s.cfg.Epsilon,
-		Slots:   s.eng.NumSlots(),
-		Peers:   []PeerSnapshot{},
+		Version:     snapshotVersion,
+		Alpha:       s.cfg.Alpha,
+		Epsilon:     s.cfg.Epsilon,
+		Slots:       s.eng.NumSlots(),
+		Compactions: s.compactions,
+		Peers:       []PeerSnapshot{},
 	}
 	wl := s.eng.Workload()
 	for pid := 0; pid < s.eng.NumSlots(); pid++ {
@@ -85,6 +91,7 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Server, error) {
 	cfg.Alpha = snap.Alpha
 	cfg.Epsilon = snap.Epsilon
 	s := New(cfg)
+	s.compactions = snap.Compactions
 
 	peers := make([]*peer.Peer, snap.Slots)
 	wl := workload.New(snap.Slots)

@@ -86,3 +86,48 @@ func TestNewOverVacatedSlots(t *testing.T) {
 		t.Fatalf("joiner got slot %d, want vacated slot 7", id)
 	}
 }
+
+// TestCompactionBetweenPeriods pins the actor simulation's side of
+// workload compaction: the sim keys no durable state by QID — node
+// demand lists share the workload's in-place-remapped entry slices,
+// and the per-cluster recall estimates are rebuilt every query phase —
+// so compacting the shared workload between periods changes nothing.
+// Actors churned through with novel queries strand QIDs; after
+// Workload.Compact the surviving actors' estimates must still match
+// an exact engine over the compacted population, and reformulation
+// must still converge.
+func TestCompactionBetweenPeriods(t *testing.T) {
+	sys, cfg := smallSystem(t)
+	s := newSim(sys, cfg, Selfish)
+	s.RunPeriod()
+
+	// Transient actors with never-seen-again queries join and depart.
+	for i := 0; i < 6; i++ {
+		tr := peer.New(-1)
+		tr.SetItems([]attr.Set{attr.NewSet(attr.ID(500 + i))})
+		id := s.AddNode(tr, []attr.Set{attr.NewSet(attr.ID(500 + i))}, []int{2}, cluster.None)
+		s.RemoveNode(id)
+	}
+	before := sys.wl.NumQueries()
+	if _, removed := sys.wl.Compact(0); removed != 6 {
+		t.Fatalf("compaction removed %d stranded queries, want 6 (of %d)", removed, before)
+	}
+
+	s.QueryPhase()
+	eng := core.New(s.ContentPeers(), sys.wl, s.Config().Clone(), sys.theta, 1)
+	for pid := 0; pid < len(s.nodes); pid++ {
+		if s.nodes[pid] == nil {
+			continue
+		}
+		for _, c := range s.Config().NonEmpty() {
+			got := s.EstimatedPeerCost(pid, c)
+			want := eng.PeerCost(pid, c)
+			if !within(got, want, 1e-9) {
+				t.Fatalf("post-compaction peer %d cluster %d: estimated %g exact %g", pid, c, got, want)
+			}
+		}
+	}
+	if rpt := s.RunPeriod(); !rpt.Converged {
+		t.Fatalf("period after compaction did not converge: %+v", rpt)
+	}
+}

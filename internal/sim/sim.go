@@ -130,6 +130,11 @@ type Sim struct {
 // configuration is adopted (and mutated by reformulation rounds). As
 // in core.New, a nil peer entry is a vacated slot: no actor is
 // spawned for it and the slot is available for reuse by AddNode.
+//
+// The sim keys no durable state by QID: node demand lists share the
+// workload's entry slices (which Workload.Compact remaps in place)
+// and recall estimates are rebuilt every query phase, so the shared
+// workload may be compacted between periods.
 func New(peers []*peer.Peer, wl *workload.Workload, cfg *cluster.Config, opts Options) *Sim {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 100

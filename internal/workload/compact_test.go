@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+func set(ids ...attr.ID) attr.Set { return attr.NewSet(ids...) }
+
+// TestCompactBasics pins the core contract on a hand-built workload:
+// stranded queries go, survivors renumber densely in order, keys and
+// counts follow, and the version moves only when something changed.
+func TestCompactBasics(t *testing.T) {
+	w := New(2)
+	w.Add(0, set(1), 3) // qid 0, stays (peer 0)
+	w.Add(1, set(2), 2) // qid 1, dies with peer 1
+	w.Add(0, set(3), 1) // qid 2, stays
+	w.Add(1, set(4), 5) // qid 3, dies with peer 1
+	w.Add(0, set(4), 1) // qid 3 also demanded by peer 0 -> stays
+	w.ClearPeer(1)
+
+	v := w.Version()
+	remap, removed := w.Compact(0)
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1 (only {2} was stranded)", removed)
+	}
+	want := []QID{0, Dead, 1, 2}
+	for q, nid := range remap {
+		if nid != want[q] {
+			t.Fatalf("remap[%d] = %d, want %d", q, nid, want[q])
+		}
+	}
+	if w.Version() == v {
+		t.Fatal("effective compaction did not bump the version")
+	}
+	if w.Compactions() != 1 {
+		t.Fatalf("compactions %d, want 1", w.Compactions())
+	}
+	if got, ok := w.Lookup(set(4)); !ok || got != 2 {
+		t.Fatalf("query {4} at %v/%v, want 2/true", got, ok)
+	}
+	if got := w.Count(0, 2); got != 1 {
+		t.Fatalf("peer 0 count for remapped {4} = %d, want 1", got)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing dead: identity remap, no mutation, no version bump.
+	v = w.Version()
+	remap, removed = w.Compact(0)
+	if removed != 0 || w.Version() != v || w.Compactions() != 1 {
+		t.Fatalf("no-op compact: removed=%d version %d->%d compactions=%d",
+			removed, v, w.Version(), w.Compactions())
+	}
+	for q, nid := range remap {
+		if nid != QID(q) {
+			t.Fatalf("no-op remap[%d] = %d", q, nid)
+		}
+	}
+}
+
+// TestCompactCloneCarriesState pins that Clone preserves the demand
+// clock, last-use stamps and compaction generation, so a cloned
+// workload makes identical retirement decisions.
+func TestCompactCloneCarriesState(t *testing.T) {
+	w := New(1)
+	w.Add(0, set(1), 1)
+	w.Add(0, set(2), 1)
+	w.ClearPeer(0)
+	w.Add(0, set(3), 1)
+	w.Compact(100) // retained: both strandlings are recent
+
+	cp := w.Clone()
+	if cp.Clock() != w.Clock() || cp.Compactions() != w.Compactions() {
+		t.Fatalf("clone clock/compactions %d/%d, want %d/%d",
+			cp.Clock(), cp.Compactions(), w.Clock(), w.Compactions())
+	}
+	_, a := w.Compact(0)
+	_, b := cp.Compact(0)
+	if a != b {
+		t.Fatalf("clone compacts %d, original %d", b, a)
+	}
+}
+
+// TestCompactRemapReuse pins the scratch discipline: at stable query
+// counts the remap buffer is reused, so the compact probe and the
+// compaction itself stay allocation-free on the workload side.
+func TestCompactRemapReuse(t *testing.T) {
+	w := New(1)
+	for i := 0; i < 8; i++ {
+		w.Add(0, set(attr.ID(i)), 1)
+	}
+	w.ClearPeer(0)
+	w.Compact(0) // warm the scratch at full width
+	w.Add(0, set(1), 1)
+	w.ClearPeer(0)
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, removed := w.Compact(1 << 30); removed != 0 {
+			t.Fatal("retention window should keep everything")
+		}
+	}); avg != 0 {
+		t.Errorf("retained-everything Compact allocates %v/op, want 0", avg)
+	}
+}

@@ -36,6 +36,15 @@ type Workload struct {
 	total   int       // num(Q)
 	version int
 	keyBuf  []byte // scratch for allocation-free Lookup probes
+
+	// Retirement/compaction state (see compact.go): clock counts
+	// demand-recording events, lastUse[q] stamps the most recent one
+	// touching q, compactions counts Compact calls that removed
+	// queries, and remapScratch is the reused old->new remap buffer.
+	clock        int64
+	lastUse      []int64
+	compactions  int
+	remapScratch []QID
 }
 
 // New creates an empty workload over numPeers peers.
@@ -78,6 +87,7 @@ func (w *Workload) Intern(q attr.Set) QID {
 	w.keys[key] = id
 	w.queries = append(w.queries, q)
 	w.global = append(w.global, 0)
+	w.lastUse = append(w.lastUse, w.clock)
 	return id
 }
 
@@ -146,6 +156,8 @@ func (w *Workload) addQID(p int, qid QID, count int) {
 	w.global[qid] += count
 	w.peerTot[p] += count
 	w.total += count
+	w.clock++
+	w.lastUse[qid] = w.clock
 	w.version++
 }
 
@@ -191,14 +203,17 @@ func (w *Workload) ReplacePeer(p int, queries []attr.Set, counts []int) {
 // shared baseline.
 func (w *Workload) Clone() *Workload {
 	cp := &Workload{
-		numPeers: w.numPeers,
-		queries:  append([]attr.Set(nil), w.queries...),
-		keys:     make(map[string]QID, len(w.keys)),
-		global:   append([]int(nil), w.global...),
-		perPeer:  make([][]Entry, len(w.perPeer)),
-		peerTot:  append([]int(nil), w.peerTot...),
-		total:    w.total,
-		version:  w.version,
+		numPeers:    w.numPeers,
+		queries:     append([]attr.Set(nil), w.queries...),
+		keys:        make(map[string]QID, len(w.keys)),
+		global:      append([]int(nil), w.global...),
+		perPeer:     make([][]Entry, len(w.perPeer)),
+		peerTot:     append([]int(nil), w.peerTot...),
+		total:       w.total,
+		version:     w.version,
+		clock:       w.clock,
+		lastUse:     append([]int64(nil), w.lastUse...),
+		compactions: w.compactions,
 	}
 	for k, v := range w.keys {
 		cp.keys[k] = v
@@ -240,6 +255,20 @@ func (w *Workload) Validate() error {
 	}
 	if total != w.total {
 		return fmt.Errorf("total %d != recorded %d", total, w.total)
+	}
+	if len(w.lastUse) != len(w.queries) {
+		return fmt.Errorf("lastUse spans %d queries, want %d", len(w.lastUse), len(w.queries))
+	}
+	for key, id := range w.keys {
+		if int(id) < 0 || int(id) >= len(w.queries) {
+			return fmt.Errorf("key %q maps to out-of-range query %d", key, id)
+		}
+		if got := w.queries[id].Key(); got != key {
+			return fmt.Errorf("key %q maps to query %d with key %q", key, id, got)
+		}
+	}
+	if len(w.keys) != len(w.queries) {
+		return fmt.Errorf("%d keys for %d queries", len(w.keys), len(w.queries))
 	}
 	return nil
 }

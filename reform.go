@@ -266,6 +266,25 @@ func (s *System) Leave(pid int) {
 // IsLive reports whether slot pid currently holds a peer.
 func (s *System) IsLive(pid int) bool { return s.eng.IsLive(pid) }
 
+// NumDistinctQueries returns the number of distinct queries currently
+// interned — the width of every QID-indexed engine structure. Under
+// churn with novel queries it grows with query history until
+// CompactWorkload reclaims the dead entries.
+func (s *System) NumDistinctQueries() int { return s.eng.Workload().NumQueries() }
+
+// DeadQueries returns how many distinct queries no live peer demands
+// anymore — what a CompactWorkload call would reclaim.
+func (s *System) DeadQueries() int { return s.eng.DeadQueries(0) }
+
+// CompactWorkload retires every distinct query no live peer demands
+// and densely renumbers the survivors, shrinking all QID-indexed
+// engine state in place (no rebuild). Costs, cluster assignments and
+// reformulation behavior are preserved exactly; it returns the number
+// of queries reclaimed. Long-running systems with churning populations
+// call it periodically (e.g. when DeadQueries exceeds half of
+// NumDistinctQueries) to keep memory bounded by live demand.
+func (s *System) CompactWorkload() int { return s.eng.Compact(0) }
+
 // ActorSim builds the concurrent goroutine-per-peer realization of the
 // protocol over a clone of the current configuration. The returned
 // simulation owns its clone; the System is unaffected by it.

@@ -165,3 +165,58 @@ func TestDeterminismAcrossSystems(t *testing.T) {
 		t.Log("different seeds produced identical outcomes (possible but unusual)")
 	}
 }
+
+func TestCompactWorkloadPublicAPI(t *testing.T) {
+	sys := New(small(Options{
+		Scenario:            SameCategory,
+		StartFromCategories: true,
+		AllowNewClusters:    true,
+		Seed:                11,
+	}))
+	sys.Run()
+
+	// Churn: a transient crowd joins (interning fresh query words from
+	// their fresh documents) and departs, stranding dead QIDs.
+	var crowd []int
+	for i := 0; i < 15; i++ {
+		crowd = append(crowd, sys.Join(i%4))
+	}
+	sys.Run()
+	for _, pid := range crowd {
+		sys.Leave(pid)
+	}
+	grown := sys.NumDistinctQueries()
+	dead := sys.DeadQueries()
+	if dead == 0 {
+		t.Fatal("churn stranded no queries; test setup too tame")
+	}
+
+	cost := sys.SocialCost()
+	wcost := sys.WorkloadCost()
+	if got := sys.CompactWorkload(); got != dead {
+		t.Fatalf("CompactWorkload reclaimed %d, DeadQueries said %d", got, dead)
+	}
+	if got := sys.NumDistinctQueries(); got != grown-dead {
+		t.Fatalf("%d distinct queries after compaction, want %d", got, grown-dead)
+	}
+	if sys.DeadQueries() != 0 {
+		t.Fatal("dead queries survive compaction")
+	}
+	if got := sys.SocialCost(); got != cost {
+		t.Fatalf("compaction changed the social cost: %v -> %v", cost, got)
+	}
+	if got := sys.WorkloadCost(); got != wcost {
+		t.Fatalf("compaction changed the workload cost: %v -> %v", wcost, got)
+	}
+	// The system keeps operating across the remap: reformulation,
+	// another churn wave (reusing reclaimed QIDs), and a second
+	// compaction cycle.
+	sys.Run()
+	pid := sys.Join(1)
+	sys.Leave(pid)
+	sys.CompactWorkload()
+	sys.Run()
+	if !sys.IsNashEquilibrium(0.001) {
+		t.Error("post-compaction system did not reformulate to Nash")
+	}
+}
