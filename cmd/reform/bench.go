@@ -12,9 +12,11 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/peer"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // benchResult is one microbenchmark measurement in BENCH.json.
@@ -70,8 +72,14 @@ func sameRunnerClass(a, b benchReport) bool {
 // their wall-clock depends on CI core counts.
 var gatedBenchmarks = []string{
 	"EvaluateMoves", "EvaluateContribution", "PeerCost", "Move", "SCost", "AddRemovePeer",
-	"CompactCycle",
+	"CompactCycle", "QueryServe", "QueryServeParallel",
 }
+
+// zeroAllocBenchmarks must report exactly 0 allocs/op in the fresh
+// run, independent of any baseline: the per-query read path is
+// allocation-free by contract (RouteScratch owns every buffer), and
+// the gate holds it there.
+var zeroAllocBenchmarks = []string{"QueryServe", "QueryServeParallel"}
 
 // benchRegressionTolerance is the allowed ns/op growth factor.
 const benchRegressionTolerance = 1.25
@@ -187,6 +195,38 @@ func runBenchCommand(args []string) {
 			eng.Compact(0)
 		}
 	})
+	// The serving daemon's per-query read path: Route over a published
+	// immutable view, caller-owned scratch, no locks. QueryServe is the
+	// single-goroutine cost; QueryServeParallel spreads the same replay
+	// over all cores, which is the whole point of publishing views.
+	view := eng.BuildRoutingView(nil)
+	wl := eng.Workload()
+	queries := make([]attr.Set, 0, min(wl.NumQueries(), 256))
+	for q := 0; q < cap(queries); q++ {
+		queries = append(queries, wl.Query(workload.QID(q)))
+	}
+	record("QueryServe", func(b *testing.B) {
+		b.ReportAllocs()
+		var sc core.RouteScratch
+		for _, q := range queries {
+			view.Route(q, &sc)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			view.Route(queries[i%len(queries)], &sc)
+		}
+	})
+	record("QueryServeParallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var sc core.RouteScratch
+			i := 0
+			for pb.Next() {
+				view.Route(queries[i%len(queries)], &sc)
+				i++
+			}
+		})
+	})
 	record("Table1Serial", func(b *testing.B) {
 		b.ReportAllocs()
 		pp := p
@@ -299,6 +339,18 @@ func compareBaseline(path string, fresh benchReport, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  %-22s ns/op %10.1f -> %10.1f  allocs/op %d -> %d  %s\n",
 			name, b.NsPerOp, f.NsPerOp, b.AllocsPerOp, f.AllocsPerOp, verdict)
+	}
+	for _, name := range zeroAllocBenchmarks {
+		f, ok := fm[name]
+		if !ok {
+			continue
+		}
+		if f.AllocsPerOp != 0 {
+			fmt.Fprintf(w, "  %-22s allocs/op %d, contract demands 0  ALLOC CONTRACT VIOLATION\n", name, f.AllocsPerOp)
+			failures = append(failures, fmt.Sprintf("%s allocs/op %d, want 0 (read-path contract)", name, f.AllocsPerOp))
+		} else {
+			fmt.Fprintf(w, "  %-22s allocs/op 0 (read-path contract holds)\n", name)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench regression gate failed: %v", failures)

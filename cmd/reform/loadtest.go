@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// runLoadtestCommand implements `reform loadtest`: a built-in load
+// generator for the serving daemon's lock-free read path. Concurrent
+// workers replay a fixed-seed query workload (single queries or
+// batches) against a target daemon — or against an in-process one
+// seeded for the occasion — and report throughput and p50/p95/p99
+// latency. With -maintain and -churn the mutation path runs
+// concurrently, demonstrating that reads do not stall behind
+// maintenance periods.
+func runLoadtestCommand(args []string) {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "", "target daemon base URL (empty: start an in-process daemon)")
+	peers := fs.Int("peers", 48, "population seeded into the in-process daemon")
+	categories := fs.Int("categories", 6, "term categories of the seeded population and replayed queries")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
+	requests := fs.Int("requests", 5000, "total requests to issue (ignored when -duration is set)")
+	duration := fs.Duration("duration", 0, "run for a fixed wall-clock time instead of a request count")
+	batch := fs.Int("batch", 0, "queries per request: 0 or 1 posts /query, larger posts /query/batch")
+	seed := fs.Uint64("seed", 1, "workload replay seed; equal seeds replay equal query sequences")
+	maintain := fs.Duration("maintain", 0, "POST /reform on this interval during the load (0: off)")
+	churn := fs.Duration("churn", 0, "join+leave one peer on this interval during the load (0: off)")
+	fs.Parse(args)
+	if *batch < 0 || *workers <= 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -batch must be >= 0 and -workers > 0")
+		os.Exit(2)
+	}
+
+	term := func(cat, i int) string { return fmt.Sprintf("c%d-t%d", cat, i) }
+	base := *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	if base == "" {
+		srv := service.New(service.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		client = ts.Client()
+		// Keep the timeout: a read path stalled behind the mutation
+		// lock must fail the run, not hang it.
+		client.Timeout = 30 * time.Second
+		// Seed a deterministic population: content and demand follow
+		// the category-term scheme the replayed queries draw from.
+		rng := stats.NewRNG(*seed)
+		for i := 0; i < *peers; i++ {
+			cat := i % *categories
+			body, _ := json.Marshal(map[string]any{
+				"items": [][]string{
+					{term(cat, rng.Intn(6)), term(cat, rng.Intn(6))},
+					{term(cat, rng.Intn(6)), term(cat, rng.Intn(6))},
+				},
+				"queries": []map[string]any{
+					{"terms": []string{term(cat, rng.Intn(6))}, "count": 1 + rng.Intn(4)},
+				},
+			})
+			resp, err := client.Post(base+"/peers", "application/json", bytes.NewReader(body))
+			if err != nil || resp.StatusCode != http.StatusCreated {
+				fmt.Fprintf(os.Stderr, "loadtest: seeding peer %d failed: %v\n", i, statusOf(resp, err))
+				os.Exit(1)
+			}
+			drain(resp)
+		}
+		post(client, base+"/reform")
+	}
+
+	// Pre-render the replayed request bodies per worker: fixed seed ->
+	// fixed byte sequences, and the hot loop measures the daemon, not
+	// the generator.
+	queriesPerReq := max(*batch, 1)
+	path := "/query"
+	if *batch > 1 {
+		path = "/query/batch"
+	}
+	makeBody := func(rng *stats.RNG) []byte {
+		one := func() map[string]any {
+			cat := rng.Intn(*categories)
+			terms := []string{term(cat, rng.Intn(6))}
+			if rng.Intn(3) == 0 {
+				terms = append(terms, term(cat, rng.Intn(6)))
+			}
+			return map[string]any{"terms": terms}
+		}
+		var v any
+		if *batch > 1 {
+			qs := make([]map[string]any, *batch)
+			for i := range qs {
+				qs[i] = one()
+			}
+			v = map[string]any{"queries": qs}
+		} else {
+			v = one()
+		}
+		b, _ := json.Marshal(v)
+		return b
+	}
+	const replayLen = 256
+	bodies := make([][][]byte, *workers)
+	for w := range bodies {
+		rng := stats.NewRNG(*seed*1_000_003 + uint64(w))
+		bodies[w] = make([][]byte, replayLen)
+		for i := range bodies[w] {
+			bodies[w][i] = makeBody(rng)
+		}
+	}
+
+	// Optional concurrent mutation load.
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutate := func(every time.Duration, fn func()) {
+		if every <= 0 {
+			return
+		}
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fn()
+				case <-stopMut:
+					return
+				}
+			}
+		}()
+	}
+	var maintains, churns atomic.Int64
+	mutate(*maintain, func() {
+		if post(client, base+"/reform") {
+			maintains.Add(1)
+		}
+	})
+	churnRNG := stats.NewRNG(*seed ^ 0xc0ffee)
+	mutate(*churn, func() {
+		cat := churnRNG.Intn(*categories)
+		body, _ := json.Marshal(map[string]any{
+			"items":   [][]string{{term(cat, churnRNG.Intn(6))}},
+			"queries": []map[string]any{{"terms": []string{term(cat, churnRNG.Intn(6))}, "count": 1}},
+		})
+		resp, err := client.Post(base+"/peers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if resp.StatusCode != http.StatusCreated {
+			drain(resp)
+			return
+		}
+		var jr struct {
+			ID int `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/peers/%d", base, jr.ID), nil)
+		if resp, err := client.Do(req); err == nil {
+			drain(resp)
+			churns.Add(1)
+		}
+	})
+
+	// The measured load.
+	var remaining atomic.Int64
+	remaining.Store(int64(*requests))
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	type result struct {
+		latMs []float64
+		errs  int
+	}
+	results := make([]result, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			for i := 0; ; i++ {
+				if deadline.IsZero() {
+					if remaining.Add(-1) < 0 {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				body := bodies[w][i%replayLen]
+				t0 := time.Now()
+				resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					res.errs++
+					continue
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if cerr != nil || resp.StatusCode != http.StatusOK {
+					res.errs++
+					continue
+				}
+				res.latMs = append(res.latMs, float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stopMut)
+	mutWG.Wait()
+
+	var lat []float64
+	errs := 0
+	for _, r := range results {
+		lat = append(lat, r.latMs...)
+		errs += r.errs
+	}
+	sort.Float64s(lat)
+	reqs := len(lat)
+	fmt.Printf("loadtest: %d requests (%d queries) in %.2fs, %d workers, %s, seed %d\n",
+		reqs, reqs*queriesPerReq, wall.Seconds(), *workers, path, *seed)
+	fmt.Printf("  throughput  %.0f req/s (%.0f queries/s)\n",
+		float64(reqs)/wall.Seconds(), float64(reqs*queriesPerReq)/wall.Seconds())
+	if reqs > 0 {
+		sum := 0.0
+		for _, l := range lat {
+			sum += l
+		}
+		fmt.Printf("  latency ms  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+			stats.Quantile(lat, 0.5), stats.Quantile(lat, 0.95), stats.Quantile(lat, 0.99),
+			lat[len(lat)-1], sum/float64(reqs))
+	}
+	if *maintain > 0 || *churn > 0 {
+		fmt.Printf("  concurrent  %d maintenance periods, %d churn cycles\n",
+			maintains.Load(), churns.Load())
+	}
+	fmt.Printf("  errors      %d\n", errs)
+	if st := fetchStats(client, base); st != nil {
+		fmt.Printf("server stats: peers=%v clusters=%v queries_served=%v published_views=%v\n",
+			st["peers"], st["clusters"], st["queries_served"], st["published_views"])
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func statusOf(resp *http.Response, err error) any {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return fmt.Sprintf("%d %s", resp.StatusCode, body)
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func post(client *http.Client, url string) bool {
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return false
+	}
+	drain(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+func fetchStats(client *http.Client, base string) map[string]any {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	return st
+}

@@ -11,6 +11,7 @@
 //	reform bench -o BENCH.json     # machine-readable microbenchmarks
 //	reform bench -baseline B.json  # fail on hot-path regressions vs B.json
 //	reform serve -addr :8080       # long-running join/leave/query daemon
+//	reform loadtest -workers 8     # load-generate against the daemon
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
@@ -22,13 +23,19 @@
 // cost-engine hot paths as BENCH.json, tracking the performance
 // trajectory across commits; with -baseline it compares against a
 // committed BENCH_BASELINE.json and exits nonzero on regression (the
-// same gate CI runs). The serve subcommand exposes the overlay over
-// HTTP: POST /peers (join), DELETE /peers/{id} (leave), POST /query,
-// POST /reform, POST /compact, GET /stats and GET /snapshot, with
-// reformulation and workload compaction on tickers and
-// snapshot/restore across restarts; in-place compaction bounds memory
-// by the live query set, so the daemon runs indefinitely under
-// novel-query churn.
+// same gate CI runs; QueryServe/QueryServeParallel additionally pin
+// the serving read path to 0 allocs/op). The serve subcommand exposes
+// the overlay over HTTP: POST /peers (join), DELETE /peers/{id}
+// (leave), POST /query and POST /query/batch (lock-free reads from
+// atomically published views), POST /reform, POST /compact, GET
+// /stats (lock-free, exact) and GET /snapshot, with reformulation and
+// workload compaction on tickers and snapshot/restore across
+// restarts; in-place compaction bounds memory by the live query set,
+// so the daemon runs indefinitely under novel-query churn. The
+// loadtest subcommand replays a fixed-seed query workload with
+// concurrent workers — against a remote daemon or an in-process one —
+// and reports throughput and p50/p95/p99 latency, optionally with
+// maintenance and churn running concurrently.
 package main
 
 import (
@@ -50,6 +57,9 @@ func main() {
 			return
 		case "serve":
 			runServeCommand(os.Args[2:])
+			return
+		case "loadtest":
+			runLoadtestCommand(os.Args[2:])
 			return
 		}
 	}

@@ -162,6 +162,12 @@ type Engine struct {
 	wlVersion     int
 	wlCompactions int
 	cfgVersion    int
+	// popVersion counts population/content changes (AddPeer,
+	// RemovePeer, Rebuild): exactly the mutations that invalidate the
+	// posting-list and peer-slice copies a RoutingView carries, so
+	// BuildRoutingView can reuse the previous view's copies across
+	// pure relocations (reform periods) and compactions.
+	popVersion uint64
 }
 
 // New builds an engine over the given peers, workload and initial
@@ -371,6 +377,7 @@ func (e *Engine) Rebuild() {
 	e.wlVersion = e.wl.Version()
 	e.wlCompactions = e.wl.Compactions()
 	e.cfgVersion = e.cfg.MembershipVersion()
+	e.popVersion++
 }
 
 // moveRecallTerms adds sign times the recall-sum terms of query q in

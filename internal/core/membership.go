@@ -494,6 +494,7 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 
 	e.wlVersion = e.wl.Version()
 	e.cfgVersion = e.cfg.MembershipVersion()
+	e.popVersion++
 	return pid
 }
 
@@ -590,4 +591,5 @@ func (e *Engine) RemovePeer(pid int) {
 
 	e.wlVersion = e.wl.Version()
 	e.cfgVersion = e.cfg.MembershipVersion()
+	e.popVersion++
 }

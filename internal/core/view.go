@@ -1,0 +1,153 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+)
+
+// This file implements the snapshot-isolated read path for query
+// serving: an immutable RoutingView published by a single writer and
+// shared by any number of concurrent readers. The paper's
+// query-routing model — route a query to the clusters that can answer
+// it — is a pure read over state that only changes at membership and
+// maintenance boundaries, so a long-running daemon builds a view
+// after every mutation (under its write lock) and serves all queries
+// from the latest published view without locking.
+//
+// A view carries copies of exactly the state Route touches: the
+// content posting lists (attribute -> live peers holding it), the
+// peer slice (pointers to peers frozen for read-only matching — see
+// peer.Freeze/ResultCountRO), the slot -> cluster assignment, and the
+// per-cluster sizes. The copies make the view immune to in-place
+// index mutation by later joins/leaves; the peers themselves are
+// shared because their content is immutable while views exist (the
+// serving daemon never mutates a live peer's items — churn replaces
+// peers wholesale).
+//
+// Because relocations (reform rounds) and workload compactions change
+// neither the population nor any posting list, BuildRoutingView
+// reuses the previous view's posting and peer copies unless a
+// join/leave/Rebuild happened in between (tracked by popVersion):
+// republishing after a maintenance period costs O(slots), not
+// O(total postings).
+
+// RouteHit is one cluster's share of a query's results.
+type RouteHit struct {
+	// Cluster is the cluster slot ID.
+	Cluster cluster.CID
+	// Size is the cluster's live member count.
+	Size int
+	// Results is Σ result(q,p) over the cluster's members.
+	Results int
+}
+
+// RouteScratch holds the reusable buffers of Route so the per-query
+// read path allocates nothing at steady state. A scratch must not be
+// shared by concurrent readers; give each goroutine (or pool) its own.
+type RouteScratch struct {
+	results []int // dense per-CID accumulator, all-zero between calls
+	hits    []RouteHit
+}
+
+// RoutingView is an immutable snapshot of the query-routing state.
+// Build one with Engine.BuildRoutingView under the writer's lock,
+// then share it freely: every method is safe for concurrent use and
+// the view never changes once built.
+type RoutingView struct {
+	peers      []*peer.Peer
+	postings   map[attr.ID][]int32
+	clusterOf  []cluster.CID
+	sizes      []int
+	nonEmpty   []cluster.CID
+	live       int
+	popVersion uint64
+}
+
+// BuildRoutingView snapshots the engine's routing state into an
+// immutable view. Passing the previously published view lets the
+// build reuse its posting-list and peer copies when no join, leave or
+// Rebuild happened since (pure relocations and compactions don't
+// invalidate them); pass nil to force full copies. The engine must be
+// fresh; the call builds the membership indexes if a Rebuild dropped
+// them, and freezes every live peer for read-only matching.
+func (e *Engine) BuildRoutingView(prev *RoutingView) *RoutingView {
+	e.mustBeFresh("BuildRoutingView")
+	e.ensureIndexes()
+	v := &RoutingView{
+		clusterOf:  e.cfg.Assignment(),
+		sizes:      make([]int, e.cfg.Cmax()),
+		nonEmpty:   e.cfg.NonEmpty(),
+		live:       e.cfg.Live(),
+		popVersion: e.popVersion,
+	}
+	for _, c := range v.nonEmpty {
+		v.sizes[c] = e.cfg.Size(c)
+	}
+	if prev != nil && prev.popVersion == e.popVersion {
+		v.peers, v.postings = prev.peers, prev.postings
+		return v
+	}
+	v.peers = slices.Clone(e.peers)
+	v.postings = make(map[attr.ID][]int32, len(e.peersByAttr))
+	for a, lst := range e.peersByAttr {
+		if len(lst) > 0 {
+			v.postings[a] = slices.Clone(lst)
+		}
+	}
+	for _, p := range v.peers {
+		if p != nil {
+			p.Freeze()
+		}
+	}
+	return v
+}
+
+// Live returns the live peer count at snapshot time.
+func (v *RoutingView) Live() int { return v.live }
+
+// Slots returns the peer-slot count at snapshot time.
+func (v *RoutingView) Slots() int { return len(v.clusterOf) }
+
+// NumClusters returns the non-empty cluster count at snapshot time.
+func (v *RoutingView) NumClusters() int { return len(v.nonEmpty) }
+
+// Route answers query q against the snapshot: the total result count
+// over all live peers and, per non-empty cluster holding results, its
+// hit. Hits are in ascending cluster order — the same order the
+// engine's locked path reports. The hit slice is owned by sc and
+// valid until its next Route; cost is bounded by the posting list of
+// q's first attribute, and the call allocates nothing at steady
+// state. An empty query or one whose first attribute no live peer
+// holds yields (0, empty).
+func (v *RoutingView) Route(q attr.Set, sc *RouteScratch) (total int, hits []RouteHit) {
+	sc.hits = sc.hits[:0]
+	ids := q.IDs()
+	if len(ids) == 0 {
+		return 0, sc.hits
+	}
+	if len(sc.results) < len(v.sizes) {
+		sc.results = make([]int, len(v.sizes))
+	}
+	for _, pid := range v.postings[ids[0]] {
+		if res := v.peers[pid].ResultCountRO(q); res > 0 {
+			sc.results[v.clusterOf[pid]] += res
+			total += res
+		}
+	}
+	if total == 0 {
+		return 0, sc.hits
+	}
+	// Every touched cluster hosts a live peer, so iterating the
+	// non-empty list both emits the hits in ascending order and
+	// restores the accumulator's all-zero invariant.
+	for _, c := range v.nonEmpty {
+		if n := sc.results[c]; n > 0 {
+			sc.hits = append(sc.hits, RouteHit{Cluster: c, Size: v.sizes[c], Results: n})
+			sc.results[c] = 0
+		}
+	}
+	return total, sc.hits
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// routeOracle computes Route's answer the locked way: ForEachSupplier
+// over the live engine plus the configuration's cluster data.
+func routeOracle(e *Engine, q attr.Set) (int, []RouteHit) {
+	total := 0
+	perCluster := make(map[cluster.CID]int)
+	e.ForEachSupplier(q, func(pid, res int) {
+		perCluster[e.cfg.ClusterOf(pid)] += res
+		total += res
+	})
+	var hits []RouteHit
+	for _, c := range e.cfg.NonEmpty() {
+		if n, ok := perCluster[c]; ok {
+			hits = append(hits, RouteHit{Cluster: c, Size: e.cfg.Size(c), Results: n})
+		}
+	}
+	return total, hits
+}
+
+// testQueries returns a mix of workload queries, ad-hoc multi-term
+// sets, an unknown-attribute set and the empty set.
+func testQueries(e *Engine, rng *stats.RNG) []attr.Set {
+	qs := []attr.Set{{}, attr.NewSet(attr.ID(1 << 20))}
+	for q := 0; q < e.wl.NumQueries(); q++ {
+		qs = append(qs, e.wl.Query(workload.QID(q)))
+	}
+	for i := 0; i < 10; i++ {
+		qs = append(qs, attr.NewSet(attr.ID(rng.Intn(12)), attr.ID(rng.Intn(12))))
+	}
+	return qs
+}
+
+func sameHits(a, b []RouteHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkViewMatchesOracle(t *testing.T, e *Engine, v *RoutingView, qs []attr.Set, label string) {
+	t.Helper()
+	var sc RouteScratch
+	for i, q := range qs {
+		wantTotal, wantHits := routeOracle(e, q)
+		gotTotal, gotHits := v.Route(q, &sc)
+		if gotTotal != wantTotal || !sameHits(gotHits, wantHits) {
+			t.Fatalf("%s: query %d (%v): view (%d, %v) != engine (%d, %v)",
+				label, i, q, gotTotal, gotHits, wantTotal, wantHits)
+		}
+	}
+}
+
+func TestRoutingViewMatchesEngine(t *testing.T) {
+	e := newTestEngine(t, 24, 12, 71, nil)
+	rng := stats.NewRNG(3)
+	// Clump the singletons a little so multi-member clusters exist.
+	for p := 0; p < 24; p++ {
+		e.Move(p, cluster.CID(p%5))
+	}
+	checkViewMatchesOracle(t, e, e.BuildRoutingView(nil), testQueries(e, rng), "initial")
+
+	// After churn: joins (some into fresh slots), leaves, relocations.
+	pr := peer.New(-1)
+	pr.SetItems([]attr.Set{attr.NewSet(0, 1), attr.NewSet(2)})
+	pid := e.AddPeer(pr, []attr.Set{attr.NewSet(0)}, []int{2}, cluster.None)
+	e.RemovePeer(3)
+	e.Move(7, cluster.CID(9))
+	checkViewMatchesOracle(t, e, e.BuildRoutingView(nil), testQueries(e, rng), "after churn")
+	e.RemovePeer(pid)
+	checkViewMatchesOracle(t, e, e.BuildRoutingView(nil), testQueries(e, rng), "after leave")
+}
+
+// TestRoutingViewSnapshotIsolation pins immutability: a published
+// view keeps answering from its snapshot while the engine churns.
+func TestRoutingViewSnapshotIsolation(t *testing.T) {
+	e := newTestEngine(t, 20, 10, 73, nil)
+	rng := stats.NewRNG(5)
+	qs := testQueries(e, rng)
+	v := e.BuildRoutingView(nil)
+
+	// Record the view's answers, then churn the engine hard.
+	type ans struct {
+		total int
+		hits  []RouteHit
+	}
+	var sc RouteScratch
+	want := make([]ans, len(qs))
+	for i, q := range qs {
+		total, hits := v.Route(q, &sc)
+		want[i] = ans{total, append([]RouteHit(nil), hits...)}
+	}
+	for p := 0; p < 8; p++ {
+		e.RemovePeer(p)
+	}
+	for i := 0; i < 5; i++ {
+		pr := peer.New(-1)
+		pr.SetItems([]attr.Set{attr.NewSet(attr.ID(i), attr.ID(i+1))})
+		e.AddPeer(pr, []attr.Set{attr.NewSet(attr.ID(i))}, []int{1}, cluster.None)
+	}
+	for p := 8; p < 20; p++ {
+		e.Move(p, cluster.CID(p%3))
+	}
+	for i, q := range qs {
+		total, hits := v.Route(q, &sc)
+		if total != want[i].total || !sameHits(hits, want[i].hits) {
+			t.Fatalf("query %d: stale view drifted: (%d, %v) != (%d, %v)",
+				i, total, hits, want[i].total, want[i].hits)
+		}
+	}
+	// And a freshly built view agrees with the mutated engine again.
+	checkViewMatchesOracle(t, e, e.BuildRoutingView(v), qs, "rebuilt")
+}
+
+// TestRoutingViewReuse pins the cheap-republish path: relocations and
+// compactions reuse the previous view's posting/peer copies, while a
+// join or leave forces fresh ones.
+func TestRoutingViewReuse(t *testing.T) {
+	e := newTestEngine(t, 16, 8, 79, nil)
+	pr := peer.New(-1)
+	pr.SetItems([]attr.Set{attr.NewSet(0, 1)})
+	pid := e.AddPeer(pr, []attr.Set{attr.NewSet(0)}, []int{1}, cluster.None) // build indexes
+	v1 := e.BuildRoutingView(nil)
+
+	e.Move(2, cluster.CID(5))
+	v2 := e.BuildRoutingView(v1)
+	if &v2.peers[0] != &v1.peers[0] {
+		t.Fatal("move-only republish did not reuse the peer copy")
+	}
+	if v2.clusterOf[2] != 5 {
+		t.Fatalf("reused view kept a stale assignment: %d", v2.clusterOf[2])
+	}
+
+	e.RemovePeer(pid)
+	e.Compact(0)
+	v3 := e.BuildRoutingView(v2)
+	if &v3.peers[0] == &v2.peers[0] {
+		t.Fatal("leave republish reused the stale peer copy")
+	}
+	e.Compact(0) // no-op compaction
+	v4 := e.BuildRoutingView(v3)
+	if &v4.peers[0] != &v3.peers[0] {
+		t.Fatal("compaction-only republish did not reuse the peer copy")
+	}
+}
+
+func TestRouteAllocationFree(t *testing.T) {
+	e := newTestEngine(t, 24, 12, 83, nil)
+	rng := stats.NewRNG(7)
+	v := e.BuildRoutingView(nil)
+	qs := testQueries(e, rng)
+	var sc RouteScratch
+	for _, q := range qs {
+		v.Route(q, &sc) // reach steady-state capacity
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		for _, q := range qs {
+			v.Route(q, &sc)
+		}
+	}); avg != 0 {
+		t.Errorf("Route allocates %v per run, want 0", avg)
+	}
+}
+
+// TestRoutingViewConcurrentReaders drives many readers over published
+// views while the single writer churns the engine — the daemon's
+// locking discipline, pinned under -race. Readers only check
+// self-consistency (every hit positive, totals add up); value-level
+// correctness is pinned by the deterministic tests above.
+func TestRoutingViewConcurrentReaders(t *testing.T) {
+	e := newTestEngine(t, 24, 12, 89, nil)
+	var mu sync.Mutex // the writer lock a serving daemon would hold
+	rng := stats.NewRNG(11)
+	qs := testQueries(e, rng)
+
+	var published struct {
+		sync.Mutex
+		v *RoutingView
+	}
+	published.v = e.BuildRoutingView(nil)
+	load := func() *RoutingView {
+		published.Lock()
+		defer published.Unlock()
+		return published.v
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc RouteScratch
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				total, hits := load().Route(qs[i%len(qs)], &sc)
+				sum := 0
+				for _, h := range hits {
+					if h.Results <= 0 || h.Size <= 0 {
+						t.Errorf("incoherent hit %+v", h)
+						return
+					}
+					sum += h.Results
+				}
+				if sum != total {
+					t.Errorf("hits sum to %d, total %d", sum, total)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 60; i++ {
+		mu.Lock()
+		pr := peer.New(-1)
+		pr.SetItems([]attr.Set{attr.NewSet(attr.ID(i%12), attr.ID((i+3)%12))})
+		pid := e.AddPeer(pr, []attr.Set{attr.NewSet(attr.ID(i % 12))}, []int{1}, cluster.None)
+		e.Move(pid, cluster.CID(i%6))
+		if i%2 == 1 {
+			e.RemovePeer(pid)
+			e.Compact(0)
+		}
+		nv := e.BuildRoutingView(load())
+		mu.Unlock()
+		published.Lock()
+		published.v = nv
+		published.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}

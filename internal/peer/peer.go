@@ -96,9 +96,8 @@ func (p *Peer) ResultCount(q attr.Set) int {
 	if p.postings == nil {
 		p.buildPostings()
 	}
-	ids := q.IDs()
-	if len(ids) == 1 {
-		return len(p.postings[ids[0]])
+	if q.Len() == 1 {
+		return len(p.postings[q.IDs()[0]])
 	}
 	key := q.Key()
 	if p.cache != nil {
@@ -106,7 +105,7 @@ func (p *Peer) ResultCount(q attr.Set) int {
 			return n
 		}
 	}
-	n := p.countMulti(ids)
+	n := p.countMulti(q)
 	if p.cache == nil {
 		p.cache = make(map[string]int)
 	}
@@ -114,8 +113,39 @@ func (p *Peer) ResultCount(q attr.Set) int {
 	return n
 }
 
+// Freeze pre-builds the peer's query-answering index so that
+// subsequent ResultCountRO calls are pure reads. Callers that share a
+// peer with concurrent readers (the routing read views) Freeze it
+// under their write lock once; any content mutation re-arms the lazy
+// build and requires a fresh Freeze before the next concurrent read.
+func (p *Peer) Freeze() {
+	if p.postings == nil {
+		p.buildPostings()
+	}
+}
+
+// ResultCountRO is ResultCount for concurrent readers: it never
+// mutates the peer — no lazy index build and no memo cache — so any
+// number of goroutines may call it on a frozen peer while a separate
+// writer runs ResultCount (which only touches the cache). The peer
+// must have been Frozen since its last content mutation.
+func (p *Peer) ResultCountRO(q attr.Set) int {
+	if q.IsEmpty() {
+		return len(p.items)
+	}
+	if p.postings == nil {
+		panic(fmt.Sprintf("peer %d: ResultCountRO before Freeze", p.id))
+	}
+	if q.Len() == 1 {
+		return len(p.postings[q.IDs()[0]])
+	}
+	return p.countMulti(q)
+}
+
 // countMulti intersects posting lists, starting from the rarest term.
-func (p *Peer) countMulti(ids []attr.ID) int {
+// It is read-only and allocation-free.
+func (p *Peer) countMulti(q attr.Set) int {
+	ids := q.IDs()
 	// Find the shortest posting list to drive the intersection.
 	best := -1
 	for i, a := range ids {
@@ -128,13 +158,10 @@ func (p *Peer) countMulti(ids []attr.ID) int {
 		}
 	}
 	n := 0
-	q := attr.NewSet(ids...)
-outer:
 	for _, idx := range p.postings[ids[best]] {
-		if !q.SubsetOf(p.items[idx]) {
-			continue outer
+		if q.SubsetOf(p.items[idx]) {
+			n++
 		}
-		n++
 	}
 	return n
 }

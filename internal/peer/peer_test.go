@@ -144,3 +144,55 @@ func TestIDAndNumItems(t *testing.T) {
 		t.Fatal("NumItems after add")
 	}
 }
+
+// TestResultCountROMatchesResultCount pins the read-only path to the
+// caching path over random peers and queries, including the empty
+// query, and checks it allocates nothing and tolerates concurrent
+// readers alongside a cache-building writer.
+func TestResultCountROMatchesResultCount(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		p := New(trial)
+		items := make([]attr.Set, 0, 8)
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			ids := make([]attr.ID, 0, 4)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				ids = append(ids, attr.ID(rng.Intn(9)))
+			}
+			items = append(items, attr.NewSet(ids...))
+		}
+		p.SetItems(items)
+		p.Freeze()
+		queries := []attr.Set{{}}
+		for i := 0; i < 12; i++ {
+			ids := make([]attr.ID, 0, 3)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				ids = append(ids, attr.ID(rng.Intn(10)))
+			}
+			queries = append(queries, attr.NewSet(ids...))
+		}
+		for _, q := range queries {
+			if got, want := p.ResultCountRO(q), p.ResultCount(q); got != want {
+				t.Fatalf("trial %d: ResultCountRO(%v)=%d, ResultCount=%d", trial, q, got, want)
+			}
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			for _, q := range queries {
+				p.ResultCountRO(q)
+			}
+		}); avg != 0 {
+			t.Fatalf("trial %d: ResultCountRO allocates %v per run, want 0", trial, avg)
+		}
+	}
+}
+
+func TestResultCountROPanicsBeforeFreeze(t *testing.T) {
+	p := New(7)
+	p.SetItems([]attr.Set{attr.NewSet(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResultCountRO on an unfrozen peer did not panic")
+		}
+	}()
+	p.ResultCountRO(attr.NewSet(1))
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the daemon's lock-free request metrics: every
+// endpoint owns an endpointMetrics — request/error counters plus a
+// log₂-bucketed latency histogram — updated with atomics only, so
+// GET /stats reads exact numbers at any moment, including while a
+// maintenance period holds the server mutex.
+
+// latBuckets spans 1ns..2^43ns (~2.4h); slower requests clamp into
+// the last bucket.
+const latBuckets = 44
+
+// latencyHist is a lock-free log₂-bucketed latency histogram. Bucket
+// i counts samples whose nanosecond duration has bit length i, i.e.
+// durations in [2^(i-1), 2^i).
+type latencyHist struct {
+	sumNs  atomic.Int64
+	bucket [latBuckets]atomic.Int64
+}
+
+// Observe records one request latency.
+func (h *latencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	h.bucket[i].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// quantiles estimates the given quantiles (ascending, in [0,1]) in
+// one pass, returning each as the upper bound of the bucket holding
+// its rank — an overestimate by at most 2x, which is the resolution
+// the log₂ buckets buy for being lock-free. It also returns the total
+// sample count. Concurrent Observes may land mid-scan; the estimate
+// is self-consistent over the counts it reads.
+func (h *latencyHist) quantiles(qs []float64) (total int64, out []time.Duration) {
+	var counts [latBuckets]int64
+	for i := range counts {
+		counts[i] = h.bucket[i].Load()
+		total += counts[i]
+	}
+	out = make([]time.Duration, len(qs))
+	if total == 0 {
+		return 0, out
+	}
+	seen := int64(0)
+	qi := 0
+	for i := 0; i < latBuckets && qi < len(qs); i++ {
+		seen += counts[i]
+		for qi < len(qs) && float64(seen) >= qs[qi]*float64(total) {
+			out[qi] = time.Duration(uint64(1) << uint(i))
+			qi++
+		}
+	}
+	return total, out
+}
+
+// endpointMetrics aggregates one endpoint's counters and latencies.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	lat      latencyHist
+}
+
+// snapshot renders the endpoint's stats for the /stats payload.
+func (m *endpointMetrics) snapshot() map[string]any {
+	_, q := m.lat.quantiles([]float64{0.5, 0.95, 0.99})
+	n := m.requests.Load()
+	meanUs := 0.0
+	if n > 0 {
+		meanUs = float64(m.lat.sumNs.Load()) / float64(n) / 1e3
+	}
+	return map[string]any{
+		"requests": n,
+		"errors":   m.errors.Load(),
+		"mean_us":  meanUs,
+		"p50_us":   float64(q[0].Nanoseconds()) / 1e3,
+		"p95_us":   float64(q[1].Nanoseconds()) / 1e3,
+		"p99_us":   float64(q[2].Nanoseconds()) / 1e3,
+	}
+}
+
+// serverMetrics holds one endpointMetrics per instrumented endpoint.
+type serverMetrics struct {
+	query    endpointMetrics
+	batch    endpointMetrics
+	stats    endpointMetrics
+	join     endpointMetrics
+	peerGet  endpointMetrics
+	leave    endpointMetrics
+	reform   endpointMetrics
+	compact  endpointMetrics
+	snapshot endpointMetrics
+}
+
+// endpoints renders the per-endpoint stats map.
+func (sm *serverMetrics) endpoints() map[string]any {
+	return map[string]any{
+		"query":       sm.query.snapshot(),
+		"query_batch": sm.batch.snapshot(),
+		"stats":       sm.stats.snapshot(),
+		"peers_join":  sm.join.snapshot(),
+		"peers_get":   sm.peerGet.snapshot(),
+		"peers_leave": sm.leave.snapshot(),
+		"reform":      sm.reform.snapshot(),
+		"compact":     sm.compact.snapshot(),
+		"snapshot":    sm.snapshot.snapshot(),
+	}
+}
+
+// statusWriter captures the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// recording for m. The wrapper itself takes no locks.
+func instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.requests.Add(1)
+		if sw.code >= 400 {
+			m.errors.Add(1)
+		}
+		m.lat.Observe(time.Since(start))
+	}
+}

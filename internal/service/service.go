@@ -7,21 +7,37 @@
 //
 // The JSON API:
 //
-//	POST   /peers       admit a peer (content items + local workload)
-//	GET    /peers/{id}  inspect one peer (cluster, individual cost)
-//	DELETE /peers/{id}  retire a peer
-//	POST   /query       evaluate a query against the live population
-//	POST   /reform      run one maintenance period now
-//	POST   /compact     retire dead workload queries now
-//	GET    /stats       live system metrics
-//	GET    /snapshot    full serialized state (the snapshot format)
+//	POST   /peers        admit a peer (content items + local workload)
+//	GET    /peers/{id}   inspect one peer (cluster, individual cost)
+//	DELETE /peers/{id}   retire a peer
+//	POST   /query        route a query against the live population
+//	POST   /query/batch  route up to 1024 queries in one request
+//	POST   /reform       run one maintenance period now
+//	POST   /compact      retire dead workload queries now
+//	GET    /stats        live system metrics (exact, lock-free)
+//	GET    /snapshot     full serialized state (the snapshot format)
 //
-// All state lives behind one mutex: the cost engine is single-threaded
-// by design (it owns scratch buffers), and membership operations are
-// cheap (proportional to the moving peer's footprint), so a single
-// writer serializes cleanly. Snapshots taken periodically and on
-// graceful shutdown let the overlay survive restarts: a new process
-// restored from a snapshot serves the same peers, clusters and costs.
+// # Concurrency: a mutation path and a lock-free read path
+//
+// All mutations (join, leave, reform, compact, restore) serialize on
+// one mutex: the cost engine is single-threaded by design (it owns
+// scratch buffers), and membership operations are cheap (proportional
+// to the moving peer's footprint), so a single writer serializes
+// cleanly. After every mutation the server snapshots the routing
+// state into an immutable read view — term table, posting lists,
+// cluster assignment, stats gauges — and publishes it through an
+// atomic pointer. POST /query, POST /query/batch and GET /stats are
+// served entirely from the latest view: they never take the mutex,
+// scale across cores, and keep answering at full speed while a slow
+// maintenance period holds the lock. Every answer is snapshot
+// isolated — it reflects exactly one published view, never a
+// half-applied mutation — and all queries of a batch share one view.
+// Request counters and latency histograms are atomics, so GET /stats
+// is exact even mid-maintenance.
+//
+// Snapshots taken periodically and on graceful shutdown let the
+// overlay survive restarts: a new process restored from a snapshot
+// serves the same peers, clusters and costs.
 //
 // # Long-running operation
 //
@@ -39,10 +55,13 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attr"
@@ -52,6 +71,12 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/workload"
 )
+
+// maxBodyBytes bounds every request body; larger bodies get 413.
+const maxBodyBytes = 1 << 20
+
+// maxBatchQueries bounds one POST /query/batch; larger batches get 413.
+const maxBatchQueries = 1024
 
 // Config parameterizes a Server. Zero values fall back to the paper's
 // setting (α = 1, ε = 0.001, linear θ).
@@ -117,20 +142,35 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 
+	// mu serializes the mutation path: every write to vocab, eng and
+	// runner happens under it, followed by a publishLocked. The read
+	// path (query, batch, stats) never takes it.
 	mu      sync.Mutex
 	vocab   *attr.Vocab
 	eng     *core.Engine
 	runner  *protocol.Runner
 	started time.Time
-	reforms int // maintenance periods run
-	rounds  int // reformulation rounds executed
-	moves   int // granted relocations
-	joins   int
-	leaves  int
+
+	// view is the atomically published read snapshot; see view.go.
+	view atomic.Pointer[readView]
+
+	// Operational counters. All atomics: the read path and GET /stats
+	// touch them without the mutex.
+	reforms atomic.Int64 // maintenance periods run
+	rounds  atomic.Int64 // reformulation rounds executed
+	moves   atomic.Int64 // granted relocations
+	joins   atomic.Int64
+	leaves  atomic.Int64
 	// compactions is the daemon's compaction generation (carried
 	// across snapshot restores); compacted counts retired queries.
-	compactions int
-	compacted   int
+	compactions atomic.Int64
+	compacted   atomic.Int64
+	// served counts queries answered (single + batched).
+	served atomic.Int64
+	// publishes counts read-view publications.
+	publishes atomic.Int64
+
+	met serverMetrics
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -149,6 +189,7 @@ func New(cfg Config) *Server {
 	}
 	s.eng = core.New(nil, workload.New(0), cluster.FromAssignment(nil), cfg.Theta, cfg.Alpha)
 	s.runner = s.newRunner()
+	s.publishLocked()
 	return s
 }
 
@@ -177,7 +218,11 @@ func (s *Server) Start() {
 		go s.tick(s.cfg.CompactEvery, func() {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			s.maybeCompactLocked()
+			// Republish only when the check actually compacted: a
+			// no-op tick changes nothing a view carries.
+			if s.maybeCompactLocked() > 0 {
+				s.publishLocked()
+			}
 		})
 	}
 }
@@ -209,15 +254,18 @@ func (s *Server) Shutdown() error {
 
 // Reform runs one maintenance period now and returns its report. A
 // threshold compaction check rides along: maintenance periods are the
-// natural cadence at which churned-away demand accumulates.
+// natural cadence at which churned-away demand accumulates. Queries
+// keep serving from the previous view for the whole period; the new
+// clustering is published at the end.
 func (s *Server) Reform() protocol.Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rpt := s.runner.Run()
-	s.reforms++
-	s.rounds += rpt.RoundsRun
-	s.moves += countMoves(rpt)
+	s.reforms.Add(1)
+	s.rounds.Add(int64(rpt.RoundsRun))
+	s.moves.Add(int64(countMoves(rpt)))
 	s.maybeCompactLocked()
+	s.publishLocked()
 	return rpt
 }
 
@@ -229,31 +277,33 @@ func (s *Server) Compact() (removed, queries, generation int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed = s.compactLocked()
-	return removed, s.eng.Workload().NumQueries(), s.compactions
+	s.publishLocked()
+	return removed, s.eng.Workload().NumQueries(), int(s.compactions.Load())
 }
 
 // maybeCompactLocked compacts when the dead-QID ratio crosses the
-// configured threshold. Callers hold s.mu.
-func (s *Server) maybeCompactLocked() {
+// configured threshold and returns the number of queries removed
+// (0 when the check was a no-op). Callers hold s.mu.
+func (s *Server) maybeCompactLocked() int {
 	total := s.eng.Workload().NumQueries()
 	if total < s.cfg.CompactMinQueries {
-		return
+		return 0
 	}
 	dead := s.eng.DeadQueries(0)
 	if dead == 0 || float64(dead) <= s.cfg.CompactDeadRatio*float64(total) {
-		return
+		return 0
 	}
-	s.compactLocked()
+	return s.compactLocked()
 }
 
 func (s *Server) compactLocked() int {
 	before := s.eng.Workload().NumQueries()
 	removed := s.eng.Compact(0)
 	if removed > 0 {
-		s.compactions++
-		s.compacted += removed
+		s.compactions.Add(1)
+		s.compacted.Add(int64(removed))
 		s.cfg.Logf("compact: %d -> %d distinct queries (generation %d)",
-			before, s.eng.Workload().NumQueries(), s.compactions)
+			before, s.eng.Workload().NumQueries(), s.compactions.Load())
 	}
 	return removed
 }
@@ -269,15 +319,41 @@ func countMoves(rpt protocol.Report) int {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /peers", s.handleJoin)
-	mux.HandleFunc("GET /peers/{id}", s.handlePeerGet)
-	mux.HandleFunc("DELETE /peers/{id}", s.handleLeave)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /reform", s.handleReform)
-	mux.HandleFunc("POST /compact", s.handleCompact)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /peers", instrument(&s.met.join, s.handleJoin))
+	mux.HandleFunc("GET /peers/{id}", instrument(&s.met.peerGet, s.handlePeerGet))
+	mux.HandleFunc("DELETE /peers/{id}", instrument(&s.met.leave, s.handleLeave))
+	mux.HandleFunc("POST /query", instrument(&s.met.query, s.handleQuery))
+	mux.HandleFunc("POST /query/batch", instrument(&s.met.batch, s.handleQueryBatch))
+	mux.HandleFunc("POST /reform", instrument(&s.met.reform, s.handleReform))
+	mux.HandleFunc("POST /compact", instrument(&s.met.compact, s.handleCompact))
+	mux.HandleFunc("GET /stats", instrument(&s.met.stats, s.handleStats))
+	mux.HandleFunc("GET /snapshot", instrument(&s.met.snapshot, s.handleSnapshot))
 	return mux
+}
+
+// decodeStrict decodes a JSON request body into dst, rejecting
+// unknown fields and bodies over maxBodyBytes. On failure it writes
+// the 4xx response and returns false.
+func decodeStrict(w http.ResponseWriter, r *http.Request, what string, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "%s body over %d bytes", what, mbe.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad %s body: %v", what, err)
+		}
+		return false
+	}
+	// Exactly one JSON document per request: trailing content is as
+	// malformed as a truncated body.
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad %s body: trailing data after JSON document", what)
+		return false
+	}
+	return true
 }
 
 // joinRequest is the POST /peers body.
@@ -303,8 +379,7 @@ type joinResponse struct {
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad join body: %v", err)
+	if !decodeStrict(w, r, "join", &req) {
 		return
 	}
 	for _, q := range req.Queries {
@@ -333,7 +408,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	pr := peer.New(-1)
 	pr.SetItems(items)
 	pid := s.eng.AddPeer(pr, queries, counts, cluster.None)
-	s.joins++
+	s.joins.Add(1)
+	s.publishLocked()
 	writeJSON(w, http.StatusCreated, joinResponse{
 		ID:      pid,
 		Cluster: int(s.eng.Config().ClusterOf(pid)),
@@ -379,7 +455,8 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.eng.RemovePeer(id)
-	s.leaves++
+	s.leaves.Add(1)
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"removed": id,
 		"peers":   s.eng.NumPeers(),
@@ -387,7 +464,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryRequest is the POST /query body.
+// queryRequest is the POST /query body (and one element of a batch).
 type queryRequest struct {
 	Terms []string `json:"terms"`
 }
@@ -404,59 +481,71 @@ type queryResponse struct {
 	Clusters []clusterHit `json:"clusters"`
 }
 
-// handleQuery evaluates a query against every live peer and reports
-// where its results live, cluster by cluster — the routing view a
-// querying client uses to decide which clusters to contact. It is
-// read-only: ad-hoc queries are not recorded as demand.
+// batchRequest is the POST /query/batch body.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+type batchResponse struct {
+	Results []queryResponse `json:"results"`
+}
+
+// handleQuery routes a query: it reports, cluster by cluster, where
+// the query's results live — the routing view a querying client uses
+// to decide which clusters to contact. It is read-only (ad-hoc
+// queries are not recorded as demand) and lock-free: the answer comes
+// entirely from the latest published read view.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad query body: %v", err)
+	if !decodeStrict(w, r, "query", &req) {
 		return
 	}
 	if len(req.Terms) == 0 {
 		httpError(w, http.StatusBadRequest, "query with no terms")
 		return
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Unknown terms cannot match anything: items only contain interned
-	// attributes.
-	ids := make([]attr.ID, 0, len(req.Terms))
-	known := true
-	for _, t := range req.Terms {
-		id, ok := s.vocab.Lookup(t)
-		if !ok {
-			known = false
-			break
-		}
-		ids = append(ids, id)
-	}
-	resp := queryResponse{Clusters: []clusterHit{}}
-	if known {
-		q := attr.NewSet(ids...)
-		cfg := s.eng.Config()
-		perCluster := make(map[cluster.CID]int)
-		// The engine's content index bounds this by the first term's
-		// posting list, not the population, so queries stay cheap under
-		// the daemon's single mutex.
-		s.eng.ForEachSupplier(q, func(pid, res int) {
-			perCluster[cfg.ClusterOf(pid)] += res
-			resp.Total += res
-		})
-		for _, c := range cfg.NonEmpty() {
-			if n, ok := perCluster[c]; ok {
-				resp.Clusters = append(resp.Clusters, clusterHit{
-					Cluster: int(c),
-					Size:    cfg.Size(c),
-					Results: n,
-					Recall:  float64(n) / float64(resp.Total),
-				})
-			}
-		}
-	}
+	v := s.loadView()
+	sc := scratchPool.Get().(*queryScratch)
+	resp := answerQuery(v, req.Terms, sc)
 	writeJSON(w, http.StatusOK, resp)
+	scratchPool.Put(sc)
+	s.served.Add(1)
+}
+
+// handleQueryBatch routes up to maxBatchQueries queries in one
+// request. All answers come from one published view, so the batch is
+// internally consistent even while mutations land concurrently.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeStrict(w, r, "batch", &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch with no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries over the %d limit", len(req.Queries), maxBatchQueries)
+		return
+	}
+	for i, q := range req.Queries {
+		if len(q.Terms) == 0 {
+			httpError(w, http.StatusBadRequest, "query %d with no terms", i)
+			return
+		}
+	}
+	v := s.loadView()
+	sc := scratchPool.Get().(*queryScratch)
+	results := make([]queryResponse, len(req.Queries))
+	for i := range req.Queries {
+		resp := answerQuery(v, req.Queries[i].Terms, sc)
+		resp.Clusters = append(make([]clusterHit, 0, len(resp.Clusters)), resp.Clusters...)
+		results[i] = resp
+	}
+	scratchPool.Put(sc)
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+	s.served.Add(int64(len(req.Queries)))
 }
 
 func (s *Server) handleReform(w http.ResponseWriter, _ *http.Request) {
@@ -480,24 +569,30 @@ func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleStats is lock-free: gauges come from the latest published
+// view (exact between mutations by construction) and counters from
+// atomics, so the numbers are correct even while a maintenance
+// period holds the mutation lock.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	v := s.loadView()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"peers":             s.eng.NumPeers(),
-		"slots":             s.eng.NumSlots(),
-		"clusters":          s.eng.Config().NumNonEmpty(),
-		"queries":           s.eng.Workload().NumQueries(),
-		"dead_queries":      s.eng.DeadQueries(0),
-		"compactions":       s.compactions,
-		"compacted_queries": s.compacted,
-		"scost":             s.eng.SCostNormalized(),
-		"wcost":             s.eng.WCostNormalized(),
-		"reforms":           s.reforms,
-		"rounds":            s.rounds,
-		"moves":             s.moves,
-		"joins":             s.joins,
-		"leaves":            s.leaves,
+		"peers":             v.g.peers,
+		"slots":             v.g.slots,
+		"clusters":          v.g.clusters,
+		"queries":           v.g.queries,
+		"dead_queries":      v.g.deadQueries,
+		"compactions":       s.compactions.Load(),
+		"compacted_queries": s.compacted.Load(),
+		"scost":             v.g.scost,
+		"wcost":             v.g.wcost,
+		"reforms":           s.reforms.Load(),
+		"rounds":            s.rounds.Load(),
+		"moves":             s.moves.Load(),
+		"joins":             s.joins.Load(),
+		"leaves":            s.leaves.Load(),
+		"queries_served":    s.served.Load(),
+		"published_views":   s.publishes.Load(),
+		"endpoints":         s.met.endpoints(),
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 	})
 }

@@ -53,7 +53,7 @@ func (s *Server) Snapshot() *Snapshot {
 		Alpha:       s.cfg.Alpha,
 		Epsilon:     s.cfg.Epsilon,
 		Slots:       s.eng.NumSlots(),
-		Compactions: s.compactions,
+		Compactions: int(s.compactions.Load()),
 		Peers:       []PeerSnapshot{},
 	}
 	wl := s.eng.Workload()
@@ -91,7 +91,7 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Server, error) {
 	cfg.Alpha = snap.Alpha
 	cfg.Epsilon = snap.Epsilon
 	s := New(cfg)
-	s.compactions = snap.Compactions
+	s.compactions.Store(int64(snap.Compactions))
 
 	peers := make([]*peer.Peer, snap.Slots)
 	wl := workload.New(snap.Slots)
@@ -126,6 +126,7 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Server, error) {
 	}
 	s.eng = core.New(peers, wl, cluster.FromAssignment(assign), s.cfg.Theta, s.cfg.Alpha)
 	s.runner = s.newRunner()
+	s.publishLocked()
 	return s, nil
 }
 

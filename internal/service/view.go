@@ -1,0 +1,138 @@
+package service
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+)
+
+// This file implements the daemon's read path: an immutable readView
+// published through an atomic pointer after every mutation
+// (join/leave/reform/compact/restore), so POST /query,
+// POST /query/batch and GET /stats never take the server mutex. Each
+// request loads the latest view once and answers entirely from it —
+// snapshot isolation per request (and per batch: all queries of a
+// batch see the same view).
+
+// readView is one published snapshot: the term table for resolving
+// query strings, the core routing view, and the engine gauges /stats
+// reports. All fields are immutable once published.
+type readView struct {
+	// terms maps attribute names to IDs. The vocabulary is
+	// append-only, so the map is rebuilt only when it grew since the
+	// previous publish and shared otherwise; vocabLen records the
+	// length it covers.
+	terms    map[string]attr.ID
+	vocabLen int
+	routing  *core.RoutingView
+	// eng identifies the engine the routing view was built from:
+	// version-based reuse is only valid against the same engine
+	// instance (a snapshot restore swaps the engine wholesale).
+	eng *core.Engine
+	g   gauges
+}
+
+// gauges are the engine-derived numbers of GET /stats, captured at
+// publish time. They change only at mutation boundaries, so the
+// snapshot is exact — not stale — between publishes.
+type gauges struct {
+	peers       int
+	slots       int
+	clusters    int
+	queries     int
+	deadQueries int
+	scost       float64
+	wcost       float64
+}
+
+// publishLocked snapshots the current engine state into a fresh
+// readView and publishes it. Callers hold s.mu (or, during
+// construction, have exclusive access).
+func (s *Server) publishLocked() {
+	prev := s.view.Load()
+	var terms map[string]attr.ID
+	var prevRouting *core.RoutingView
+	if prev != nil {
+		if prev.eng == s.eng {
+			prevRouting = prev.routing
+		}
+		if prev.vocabLen == s.vocab.Len() {
+			terms = prev.terms
+		}
+	}
+	if terms == nil {
+		terms = make(map[string]attr.ID, s.vocab.Len())
+		for id := 0; id < s.vocab.Len(); id++ {
+			terms[s.vocab.Name(attr.ID(id))] = attr.ID(id)
+		}
+	}
+	s.publishes.Add(1)
+	s.view.Store(&readView{
+		terms:    terms,
+		vocabLen: s.vocab.Len(),
+		routing:  s.eng.BuildRoutingView(prevRouting),
+		eng:      s.eng,
+		g: gauges{
+			peers:       s.eng.NumPeers(),
+			slots:       s.eng.NumSlots(),
+			clusters:    s.eng.Config().NumNonEmpty(),
+			queries:     s.eng.Workload().NumQueries(),
+			deadQueries: s.eng.DeadQueries(0),
+			scost:       s.eng.SCostNormalized(),
+			wcost:       s.eng.WCostNormalized(),
+		},
+	})
+}
+
+// loadView returns the latest published view (never nil: New and
+// NewFromSnapshot publish before serving).
+func (s *Server) loadView() *readView { return s.view.Load() }
+
+// queryScratch bundles the reusable buffers of one in-flight query
+// request; a sync.Pool recycles them across requests so the hot read
+// path allocates only what the HTTP layer itself requires.
+type queryScratch struct {
+	route core.RouteScratch
+	ids   []attr.ID
+	hits  []clusterHit
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		// hits must start non-nil: an empty answer marshals as [].
+		return &queryScratch{hits: make([]clusterHit, 0, 8)}
+	},
+}
+
+// answerQuery evaluates terms against the view and returns the
+// routing answer. The response's Clusters slice aliases sc.hits and
+// is valid until sc's next use; callers that retain answers (the
+// batch handler) copy it out. Unknown terms cannot match anything
+// (items only contain interned attributes), so any unknown term
+// yields the empty answer.
+func answerQuery(v *readView, terms []string, sc *queryScratch) queryResponse {
+	sc.ids = sc.ids[:0]
+	for _, t := range terms {
+		id, ok := v.terms[t]
+		if !ok {
+			sc.hits = sc.hits[:0]
+			return queryResponse{Clusters: sc.hits}
+		}
+		sc.ids = append(sc.ids, id)
+	}
+	slices.Sort(sc.ids)
+	q := attr.FromSorted(slices.Compact(sc.ids))
+	total, hits := v.routing.Route(q, &sc.route)
+	sc.hits = sc.hits[:0]
+	for _, h := range hits {
+		sc.hits = append(sc.hits, clusterHit{
+			Cluster: int(h.Cluster),
+			Size:    h.Size,
+			Results: h.Results,
+			Recall:  float64(h.Results) / float64(total),
+		})
+	}
+	return queryResponse{Total: total, Clusters: sc.hits}
+}

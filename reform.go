@@ -20,6 +20,7 @@ package reform
 import (
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -284,6 +285,75 @@ func (s *System) DeadQueries() int { return s.eng.DeadQueries(0) }
 // call it periodically (e.g. when DeadQueries exceeds half of
 // NumDistinctQueries) to keep memory bounded by live demand.
 func (s *System) CompactWorkload() int { return s.eng.Compact(0) }
+
+// ClusterAnswer is one cluster's share of a routed query's results.
+type ClusterAnswer struct {
+	// Cluster is the cluster slot ID.
+	Cluster int
+	// Size is the cluster's live member count.
+	Size int
+	// Results is the number of matching items held by the cluster.
+	Results int
+	// Recall is Results over the query's global result total.
+	Recall float64
+}
+
+// QueryAnswer is the routing answer for one query: which clusters to
+// contact and what fraction of the results each can serve.
+type QueryAnswer struct {
+	// Total is the global result count over all live peers.
+	Total int
+	// Clusters lists the clusters holding results, ascending by ID.
+	Clusters []ClusterAnswer
+}
+
+// QueryBatch routes a batch of ad-hoc term queries against the
+// current overlay — the paper's query-routing model: send each query
+// to the clusters that can answer it. The whole batch is answered
+// from one immutable routing view built at call time (the same
+// snapshot-isolated read path the serving daemon publishes), so the
+// answers are mutually consistent and the call leaves the system
+// untouched: ad-hoc queries are not recorded as demand. Terms never
+// seen by any peer match nothing.
+func (s *System) QueryBatch(queries [][]string) []QueryAnswer {
+	view := s.eng.BuildRoutingView(nil)
+	vocab := s.sys.Gen.Vocab()
+	var sc core.RouteScratch
+	var ids []attr.ID
+	out := make([]QueryAnswer, len(queries))
+	for i, terms := range queries {
+		ids = ids[:0]
+		known := true
+		for _, t := range terms {
+			id, ok := vocab.Lookup(t)
+			if !ok {
+				known = false
+				break
+			}
+			ids = append(ids, id)
+		}
+		out[i].Clusters = []ClusterAnswer{}
+		if !known || len(ids) == 0 {
+			continue
+		}
+		total, hits := view.Route(attr.NewSet(ids...), &sc)
+		out[i].Total = total
+		for _, h := range hits {
+			out[i].Clusters = append(out[i].Clusters, ClusterAnswer{
+				Cluster: int(h.Cluster),
+				Size:    h.Size,
+				Results: h.Results,
+				Recall:  float64(h.Results) / float64(total),
+			})
+		}
+	}
+	return out
+}
+
+// Query routes a single ad-hoc term query; see QueryBatch.
+func (s *System) Query(terms ...string) QueryAnswer {
+	return s.QueryBatch([][]string{terms})[0]
+}
 
 // ActorSim builds the concurrent goroutine-per-peer realization of the
 // protocol over a clone of the current configuration. The returned

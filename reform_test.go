@@ -220,3 +220,57 @@ func TestCompactWorkloadPublicAPI(t *testing.T) {
 		t.Error("post-compaction system did not reformulate to Nash")
 	}
 }
+
+func TestQueryBatchPublicAPI(t *testing.T) {
+	sys := New(small(Options{AllowNewClusters: true, Seed: 5}))
+	sys.Run()
+
+	// Resolve a real workload query back to its term strings so the
+	// batch is guaranteed to have supply somewhere.
+	eng := sys.Engine()
+	wl := eng.Workload()
+	vocab := sys.sys.Gen.Vocab()
+	if wl.NumQueries() == 0 {
+		t.Fatal("system has no workload queries")
+	}
+	known := wl.Query(0).Names(vocab)
+
+	answers := sys.QueryBatch([][]string{known, {"no-such-term-ever"}, {}})
+	if len(answers) != 3 {
+		t.Fatalf("QueryBatch returned %d answers, want 3", len(answers))
+	}
+	got := answers[0]
+	if got.Total <= 0 || len(got.Clusters) == 0 {
+		t.Fatalf("known query found nothing: %+v", got)
+	}
+	recall := 0.0
+	sum := 0
+	for i, c := range got.Clusters {
+		if c.Results <= 0 || c.Size <= 0 {
+			t.Fatalf("incoherent cluster answer %+v", c)
+		}
+		if i > 0 && got.Clusters[i-1].Cluster >= c.Cluster {
+			t.Fatalf("clusters not ascending: %+v", got.Clusters)
+		}
+		recall += c.Recall
+		sum += c.Results
+	}
+	if sum != got.Total || recall < 1-1e-9 || recall > 1+1e-9 {
+		t.Fatalf("answer does not add up: sum=%d total=%d recall=%g", sum, got.Total, recall)
+	}
+	// Cross-check the total against the engine's supplier walk.
+	want := 0
+	eng.ForEachSupplier(wl.Query(0), func(_, res int) { want += res })
+	if got.Total != want {
+		t.Fatalf("QueryBatch total %d, engine says %d", got.Total, want)
+	}
+
+	for _, a := range answers[1:] {
+		if a.Total != 0 || len(a.Clusters) != 0 {
+			t.Fatalf("unanswerable query matched: %+v", a)
+		}
+	}
+	if single := sys.Query(known...); single.Total != got.Total {
+		t.Fatalf("Query total %d != QueryBatch total %d", single.Total, got.Total)
+	}
+}
