@@ -1,6 +1,7 @@
 package reform
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -288,6 +289,48 @@ func BenchmarkProtocolRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runner.RunRound(i + 1)
+	}
+}
+
+func BenchmarkProtocolRoundParallel(b *testing.B) {
+	// One protocol round with the phase-1 decide scan fanned over all
+	// cores (byte-identical outcomes to BenchmarkProtocolRound; the
+	// ratio is the decide parallelization's multicore scaling).
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(4)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	runner := sys.NewRunnerWorkers(eng, core.NewSelfish(), true, runtime.GOMAXPROCS(0))
+	runner.BeginPeriod()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.RunRound(i + 1)
+	}
+}
+
+func BenchmarkReformStep(b *testing.B) {
+	// A full quiescent maintenance period driven through the stepped
+	// Begin/Step state machine (budget 8): the per-tick cost a serving
+	// daemon pays to verify the overlay is converged. Steady state
+	// must allocate nothing — the report storage is runner-recycled.
+	p := benchParams()
+	sys := experiments.Build(p, experiments.SameCategory)
+	rng := stats.NewRNG(4)
+	eng := sys.NewEngine(sys.InitialConfig(experiments.InitRandomM, rng))
+	runner := sys.NewRunner(eng, core.NewSelfish(), true)
+	runner.Run() // converge, then warm the period storage
+	for i := 0; i < 2; i++ {
+		per := runner.Begin()
+		for !per.Step(8) {
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		per := runner.Begin()
+		for !per.Step(8) {
+		}
 	}
 }
 

@@ -25,8 +25,12 @@ import (
 // batches) against a target daemon — or against an in-process one
 // seeded for the occasion — and report throughput and p50/p95/p99
 // latency. With -maintain and -churn the mutation path runs
-// concurrently, demonstrating that reads do not stall behind
-// maintenance periods.
+// concurrently — joins and leaves land during maintenance periods —
+// and their p50/p95/p99 latencies are reported separately,
+// demonstrating that neither reads nor mutations stall behind
+// maintenance periods (the stepped scheduler bounds a mutation's wait
+// to one step; tune it with -step-budget). Any failed request,
+// query or mutation, exits nonzero.
 func runLoadtestCommand(args []string) {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "", "target daemon base URL (empty: start an in-process daemon)")
@@ -39,6 +43,7 @@ func runLoadtestCommand(args []string) {
 	seed := fs.Uint64("seed", 1, "workload replay seed; equal seeds replay equal query sequences")
 	maintain := fs.Duration("maintain", 0, "POST /reform on this interval during the load (0: off)")
 	churn := fs.Duration("churn", 0, "join+leave one peer on this interval during the load (0: off)")
+	stepBudget := fs.Int("step-budget", 0, "maintenance step budget of the in-process daemon (0: service default; negative: whole periods under one lock hold)")
 	fs.Parse(args)
 	if *batch < 0 || *workers <= 0 {
 		fmt.Fprintln(os.Stderr, "loadtest: -batch must be >= 0 and -workers > 0")
@@ -49,7 +54,7 @@ func runLoadtestCommand(args []string) {
 	base := *addr
 	client := &http.Client{Timeout: 30 * time.Second}
 	if base == "" {
-		srv := service.New(service.Config{})
+		srv := service.New(service.Config{StepBudget: *stepBudget})
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL
@@ -143,10 +148,18 @@ func runLoadtestCommand(args []string) {
 			}
 		}()
 	}
-	var maintains, churns atomic.Int64
+	// Join and leave latencies are recorded separately: they are the
+	// mutation path, and the whole point of the stepped maintenance
+	// scheduler is that their tail is bounded by one step even while
+	// a period is in progress. The slices are owned by the single
+	// churn goroutine and read only after mutWG.Wait().
+	var maintains, churns, mutErrs atomic.Int64
+	var joinLat, leaveLat []float64
 	mutate(*maintain, func() {
 		if post(client, base+"/reform") {
 			maintains.Add(1)
+		} else {
+			mutErrs.Add(1)
 		}
 	})
 	churnRNG := stats.NewRNG(*seed ^ 0xc0ffee)
@@ -156,24 +169,37 @@ func runLoadtestCommand(args []string) {
 			"items":   [][]string{{term(cat, churnRNG.Intn(6))}},
 			"queries": []map[string]any{{"terms": []string{term(cat, churnRNG.Intn(6))}, "count": 1}},
 		})
+		t0 := time.Now()
 		resp, err := client.Post(base+"/peers", "application/json", bytes.NewReader(body))
 		if err != nil {
+			mutErrs.Add(1)
 			return
 		}
 		if resp.StatusCode != http.StatusCreated {
 			drain(resp)
+			mutErrs.Add(1)
 			return
 		}
+		joinLat = append(joinLat, float64(time.Since(t0).Nanoseconds())/1e6)
 		var jr struct {
 			ID int `json:"id"`
 		}
 		json.NewDecoder(resp.Body).Decode(&jr)
 		resp.Body.Close()
 		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/peers/%d", base, jr.ID), nil)
-		if resp, err := client.Do(req); err == nil {
-			drain(resp)
-			churns.Add(1)
+		t0 = time.Now()
+		resp, err = client.Do(req)
+		if err != nil {
+			mutErrs.Add(1)
+			return
 		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			mutErrs.Add(1)
+			return
+		}
+		leaveLat = append(leaveLat, float64(time.Since(t0).Nanoseconds())/1e6)
+		churns.Add(1)
 	})
 
 	// The measured load.
@@ -250,12 +276,29 @@ func runLoadtestCommand(args []string) {
 		fmt.Printf("  concurrent  %d maintenance periods, %d churn cycles\n",
 			maintains.Load(), churns.Load())
 	}
-	fmt.Printf("  errors      %d\n", errs)
+	printMutLat := func(name string, lat []float64) {
+		if len(lat) == 0 {
+			return
+		}
+		sort.Float64s(lat)
+		fmt.Printf("  %-11s p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  (n=%d)\n",
+			name, stats.Quantile(lat, 0.5), stats.Quantile(lat, 0.95),
+			stats.Quantile(lat, 0.99), lat[len(lat)-1], len(lat))
+	}
+	printMutLat("join ms", joinLat)
+	printMutLat("leave ms", leaveLat)
+	fmt.Printf("  errors      %d query, %d mutation\n", errs, mutErrs.Load())
 	if st := fetchStats(client, base); st != nil {
 		fmt.Printf("server stats: peers=%v clusters=%v queries_served=%v published_views=%v\n",
 			st["peers"], st["clusters"], st["queries_served"], st["published_views"])
+		if lk, ok := st["mutation_lock"].(map[string]any); ok {
+			holds, _ := lk["holds"].(float64)
+			mean, _ := lk["mean_us"].(float64)
+			p99, _ := lk["p99_us"].(float64)
+			fmt.Printf("  lock holds  n=%.0f mean %.1fus p99 %.1fus\n", holds, mean, p99)
+		}
 	}
-	if errs > 0 {
+	if errs > 0 || mutErrs.Load() > 0 {
 		os.Exit(1)
 	}
 }

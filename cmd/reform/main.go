@@ -15,7 +15,8 @@
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
-// churn, flashcrowd, longhaul, lookup, routing, multicluster, all.
+// churn, flashcrowd, longhaul, interleaved, lookup, routing,
+// multicluster, all.
 //
 // Experiment cells run on a worker pool (default: one per CPU; see
 // -workers). Outputs are deterministic per seed for every worker
@@ -96,6 +97,7 @@ func main() {
 		"churn":          func() { out.series(experiments.RunChurn(p, 10, 0.05)) },
 		"flashcrowd":     func() { out.table(experiments.RunFlashCrowd(p, nil)) },
 		"longhaul":       func() { out.table(experiments.RunLongHaul(p, 0, nil)) },
+		"interleaved":    func() { out.table(experiments.RunInterleaved(p, nil)) },
 		"lookup":         func() { out.table(experiments.RunLookupCost(p)) },
 		"routing":        func() { out.table(experiments.RunRoutingAblation(p)) },
 		"multicluster":   func() { out.table(experiments.RunMultiClusterAnalysis(p, 4)) },
@@ -104,7 +106,7 @@ func main() {
 		"table1", "fig1", "fig2", "fig3", "fig4", "counterexample",
 		"theta", "epsilon", "hybrid", "paired", "clgain", "shared",
 		"async", "baseline", "discovery", "churn", "flashcrowd",
-		"longhaul", "lookup", "routing", "multicluster",
+		"longhaul", "interleaved", "lookup", "routing", "multicluster",
 	}
 
 	name := strings.ToLower(*exp)

@@ -25,6 +25,8 @@ func runServeCommand(args []string) {
 	epsilon := fs.Float64("epsilon", 0.001, "reformulation gain threshold ε")
 	maxRounds := fs.Int("max-rounds", 300, "rounds per maintenance period")
 	reformEvery := fs.Duration("reform", 30*time.Second, "maintenance period length (0 disables the ticker)")
+	stepBudget := fs.Int("step-budget", 0, "work units (cluster scans + grants) per maintenance step while holding the mutation lock (0: default 32; negative: whole periods under one hold)")
+	reformWorkers := fs.Int("reform-workers", 0, "phase-1 decide worker pool per maintenance step (0: one per CPU, 1: serial; outcomes are identical for every value)")
 	snapshot := fs.String("snapshot", "", "snapshot file; loaded at startup when present, written periodically and on shutdown")
 	snapshotEvery := fs.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (needs -snapshot)")
 	compactEvery := fs.Duration("compact-every", time.Minute, "workload-compaction check interval (0: only after maintenance periods and via POST /compact)")
@@ -49,6 +51,8 @@ func runServeCommand(args []string) {
 		Epsilon:           *epsilon,
 		MaxRounds:         *maxRounds,
 		ReformEvery:       *reformEvery,
+		StepBudget:        *stepBudget,
+		ReformWorkers:     *reformWorkers,
 		SnapshotPath:      *snapshot,
 		SnapshotEvery:     *snapshotEvery,
 		CompactEvery:      *compactEvery,

@@ -110,9 +110,13 @@ type ContributionEval struct {
 // Like EvaluateMoves it reuses the engine's dense scratch accumulator
 // and allocates nothing at steady state.
 func (e *Engine) EvaluateContribution(p int) ContributionEval {
+	return e.evaluateContribution(p, e.nonEmptyScratch(), e.accScratch)
+}
+
+// evaluateContribution is EvaluateContribution over caller-owned
+// scratch; see evaluateMoves.
+func (e *Engine) evaluateContribution(p int, nonEmpty []cluster.CID, num []float64) ContributionEval {
 	cur := e.cfg.ClusterOf(p)
-	nonEmpty := e.nonEmptyScratch()
-	num := e.accScratch
 	var den float64
 	cm := e.stride
 	for _, re := range e.peerRes[p] {

@@ -141,6 +141,10 @@ type Engine struct {
 	qEpoch       uint64
 	cidMark      []uint64
 	cidEpoch     uint64
+	// selfEval is the lazily created engine-owned Evaluator that
+	// Strategy.Decide routes through (see evaluator.go); concurrent
+	// scans build private evaluators with NewEvaluator instead.
+	selfEval *Evaluator
 
 	// Dynamic-membership state (see membership.go): the free-slot
 	// stack, the inverted indexes that make joins proportional to the
@@ -555,6 +559,13 @@ func (e *Engine) nonEmptyScratch() []cluster.CID {
 // term uses θ(|c|+1) and p's own results count as in-cluster, matching
 // the §2.3 worked example. PeerCost allocates nothing.
 func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
+	return e.peerCost(p, c, e.ownScratch)
+}
+
+// peerCost is PeerCost over caller-owned QID scratch (zero outside the
+// call, length >= nq), so evaluators with private scratch can probe
+// concurrently while the engine is frozen.
+func (e *Engine) peerCost(p int, c cluster.CID, own []float64) float64 {
 	cur := e.cfg.ClusterOf(p)
 	size := e.cfg.Size(c)
 	cm := e.stride
@@ -567,7 +578,6 @@ func (e *Engine) PeerCost(p int, c cluster.CID) float64 {
 		return cost
 	}
 	cost := e.membership(size + 1)
-	own := e.ownScratch
 	pr := e.peerRes[p]
 	for i := range pr {
 		own[pr[i].qid] = pr[i].res
@@ -664,11 +674,17 @@ func (m MoveEval) Gain() float64 { return m.CurCost - m.BestCost }
 // state: the per-cluster accumulator is a dense scratch slice reset
 // through the non-empty cluster list.
 func (e *Engine) EvaluateMoves(p int) MoveEval {
+	return e.evaluateMoves(p, e.nonEmptyScratch(), e.accScratch)
+}
+
+// evaluateMoves is EvaluateMoves over a caller-owned non-empty cluster
+// list and CID-indexed accumulator (zero outside the call, length >=
+// cmax) — the scratch-parameterized form Evaluator uses for concurrent
+// scans over a frozen engine.
+func (e *Engine) evaluateMoves(p int, nonEmpty []cluster.CID, acc []float64) MoveEval {
 	cur := e.cfg.ClusterOf(p)
-	nonEmpty := e.nonEmptyScratch()
 
 	// acc[c] accumulates Σ_q w·clusterRes[q][c]/totals[q].
-	acc := e.accScratch
 	cm := e.stride
 	for _, en := range e.peerWl[p] {
 		row := e.clusterRes[int(en.qid)*cm : int(en.qid)*cm+cm]

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/cluster"
+)
+
+// Evaluator is a cost-evaluation context with private scratch buffers
+// over a shared Engine. The engine's evaluation methods are read-only
+// but not reentrant — they reuse engine-owned scratch — so concurrent
+// phase-1 Decide scans (protocol.Options.Workers) give each worker its
+// own Evaluator instead. Any number of evaluators may evaluate
+// concurrently as long as nothing mutates the engine (no Move,
+// AddPeer, RemovePeer, Rebuild, Compact) for the duration; evaluations
+// are pure reads of the engine's aggregates, so an Evaluator produces
+// bit-identical results to the engine's own methods.
+//
+// An Evaluator sizes its scratch lazily against the engine's current
+// geometry, so it stays valid across engine mutations between (not
+// during) concurrent scans, including workload compactions and
+// membership changes that re-stride the aggregates.
+type Evaluator struct {
+	e *Engine
+	// own is QID-indexed, acc CID-indexed; both zero outside calls.
+	own []float64
+	acc []float64
+	cid []cluster.CID
+}
+
+// NewEvaluator returns a fresh evaluator over the engine. The zero
+// cost is deferred: buffers are sized on first use.
+func (e *Engine) NewEvaluator() *Evaluator { return &Evaluator{e: e} }
+
+// Eval returns the engine-owned evaluator, creating it on first use.
+// It shares the engine's single-goroutine discipline (unlike
+// NewEvaluator instances it may not run concurrently with anything)
+// and exists so Strategy.Decide and DecideEval share one
+// implementation.
+func (e *Engine) Eval() *Evaluator {
+	if e.selfEval == nil {
+		e.selfEval = e.NewEvaluator()
+	}
+	return e.selfEval
+}
+
+// Engine returns the engine the evaluator reads from.
+func (ev *Evaluator) Engine() *Engine { return ev.e }
+
+// ensure grows the scratch to the engine's current geometry. Growth
+// only ever happens between concurrent scans (mutating the engine
+// while evaluators run is already a data race), so each evaluator
+// resizes its private buffers safely.
+func (ev *Evaluator) ensure() {
+	if cap(ev.own) < ev.e.nq {
+		ev.own = make([]float64, ev.e.nq)
+	} else {
+		ev.own = ev.own[:ev.e.nq]
+	}
+	if cap(ev.acc) < ev.e.stride {
+		ev.acc = make([]float64, ev.e.stride)
+	} else {
+		ev.acc = ev.acc[:ev.e.stride]
+	}
+}
+
+// NonEmpty refreshes and returns the evaluator's private non-empty
+// cluster list (ascending CID). The slice is reused across calls.
+func (ev *Evaluator) NonEmpty() []cluster.CID {
+	ev.cid = ev.e.cfg.AppendNonEmpty(ev.cid[:0])
+	return ev.cid
+}
+
+// EvaluateMoves mirrors Engine.EvaluateMoves on private scratch.
+func (ev *Evaluator) EvaluateMoves(p int) MoveEval {
+	ev.ensure()
+	return ev.e.evaluateMoves(p, ev.NonEmpty(), ev.acc)
+}
+
+// EvaluateContribution mirrors Engine.EvaluateContribution on private
+// scratch.
+func (ev *Evaluator) EvaluateContribution(p int) ContributionEval {
+	ev.ensure()
+	return ev.e.evaluateContribution(p, ev.NonEmpty(), ev.acc)
+}
+
+// PeerCost mirrors Engine.PeerCost on private scratch.
+func (ev *Evaluator) PeerCost(p int, c cluster.CID) float64 {
+	ev.ensure()
+	return ev.e.peerCost(p, c, ev.own)
+}
+
+// Contribution mirrors Engine.Contribution (scratch-free, delegated).
+func (ev *Evaluator) Contribution(p int, c cluster.CID) float64 { return ev.e.Contribution(p, c) }
+
+// DeltaMembership mirrors Engine.DeltaMembership (scratch-free).
+func (ev *Evaluator) DeltaMembership(c cluster.CID) float64 { return ev.e.DeltaMembership(c) }
+
+// CostAlone mirrors Engine.CostAlone (scratch-free).
+func (ev *Evaluator) CostAlone(p int) float64 { return ev.e.CostAlone(p) }

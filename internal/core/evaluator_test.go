@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+	"repro/internal/workload"
+)
+
+// evalSystem builds a small mixed system: g groups of perGroup peers,
+// each holding and querying its group attribute plus a shared one, so
+// clusters have cross-demand and non-trivial best moves.
+func evalSystem(t testing.TB, groups, perGroup int) *Engine {
+	t.Helper()
+	n := groups * perGroup
+	vocab := attr.NewVocab()
+	shared := vocab.Intern("shared")
+	ids := make([]attr.ID, groups)
+	for g := range ids {
+		ids[g] = vocab.Intern(string(rune('a' + g)))
+	}
+	peers := make([]*peer.Peer, n)
+	wl := workload.New(n)
+	assign := make([]cluster.CID, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		p := peer.New(i)
+		p.SetItems([]attr.Set{attr.NewSet(ids[g]), attr.NewSet(ids[g], shared)})
+		peers[i] = p
+		wl.Add(i, attr.NewSet(ids[g]), 2)
+		wl.Add(i, attr.NewSet(ids[(g+1)%groups]), 1)
+		if i%3 == 0 {
+			wl.Add(i, attr.NewSet(shared), 1)
+		}
+		assign[i] = cluster.CID(i % (groups + 1))
+	}
+	return New(peers, wl, cluster.FromAssignment(assign), cluster.LinearTheta(), 1)
+}
+
+// TestEvaluatorMatchesEngine pins bit-identity: a private Evaluator
+// must reproduce every engine evaluation exactly.
+func TestEvaluatorMatchesEngine(t *testing.T) {
+	eng := evalSystem(t, 4, 5)
+	ev := eng.NewEvaluator()
+	nonEmpty := eng.Config().NonEmpty()
+	for p := 0; p < eng.NumSlots(); p++ {
+		if got, want := ev.EvaluateMoves(p), eng.EvaluateMoves(p); got != want {
+			t.Fatalf("peer %d: EvaluateMoves %+v vs engine %+v", p, got, want)
+		}
+		if got, want := ev.EvaluateContribution(p), eng.EvaluateContribution(p); got != want {
+			t.Fatalf("peer %d: EvaluateContribution %+v vs engine %+v", p, got, want)
+		}
+		if got, want := ev.CostAlone(p), eng.CostAlone(p); got != want {
+			t.Fatalf("peer %d: CostAlone %v vs %v", p, got, want)
+		}
+		for _, c := range nonEmpty {
+			if got, want := ev.PeerCost(p, c), eng.PeerCost(p, c); got != want {
+				t.Fatalf("peer %d cluster %d: PeerCost %v vs %v", p, c, got, want)
+			}
+			if got, want := ev.Contribution(p, c), eng.Contribution(p, c); got != want {
+				t.Fatalf("peer %d cluster %d: Contribution %v vs %v", p, c, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorSurvivesEngineMutation pins lazy resizing: an Evaluator
+// created before joins, moves and compactions keeps matching the
+// engine afterwards.
+func TestEvaluatorSurvivesEngineMutation(t *testing.T) {
+	eng := evalSystem(t, 3, 4)
+	ev := eng.NewEvaluator()
+	ev.EvaluateMoves(0) // size scratch against the old geometry
+
+	for i := 0; i < 8; i++ {
+		pr := peer.New(-1)
+		pr.SetItems([]attr.Set{attr.NewSet(attr.ID(1))})
+		pid := eng.AddPeer(pr, []attr.Set{attr.NewSet(attr.ID(500 + i))}, []int{2}, cluster.None)
+		if i%2 == 0 {
+			eng.RemovePeer(pid)
+		}
+	}
+	eng.Compact(0)
+	eng.Move(0, eng.Config().NonEmpty()[0])
+
+	for p := 0; p < eng.NumSlots(); p++ {
+		if !eng.IsLive(p) {
+			continue
+		}
+		if got, want := ev.EvaluateMoves(p), eng.EvaluateMoves(p); got != want {
+			t.Fatalf("peer %d after mutation: %+v vs %+v", p, got, want)
+		}
+	}
+}
+
+// TestConcurrentEvaluators runs many evaluators over one frozen engine
+// at once (meaningful under -race) and checks each against the
+// engine's serial answers.
+func TestConcurrentEvaluators(t *testing.T) {
+	eng := evalSystem(t, 4, 6)
+	n := eng.NumSlots()
+	want := make([]MoveEval, n)
+	wantC := make([]ContributionEval, n)
+	for p := 0; p < n; p++ {
+		want[p] = eng.EvaluateMoves(p)
+		wantC[p] = eng.EvaluateContribution(p)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := eng.NewEvaluator()
+			for p := 0; p < n; p++ {
+				if got := ev.EvaluateMoves(p); got != want[p] {
+					errs <- "EvaluateMoves diverged under concurrency"
+					return
+				}
+				if got := ev.EvaluateContribution(p); got != wantC[p] {
+					errs <- "EvaluateContribution diverged under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestDecideEvalMatchesDecide pins the delegation contract for every
+// built-in strategy: Decide(e) == DecideEval(private evaluator).
+func TestDecideEvalMatchesDecide(t *testing.T) {
+	for _, strat := range []EvalStrategy{NewSelfish(), NewAltruistic(), NewHybrid(0.5)} {
+		eng := evalSystem(t, 4, 5)
+		ev := eng.NewEvaluator()
+		for p := 0; p < eng.NumSlots(); p++ {
+			base := eng.PeerCost(p, eng.Config().ClusterOf(p))
+			got := strat.DecideEval(ev, p, base, true)
+			want := strat.Decide(eng, p, base, true)
+			if got != want {
+				t.Fatalf("%s peer %d: DecideEval %+v vs Decide %+v", strat.Name(), p, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorAllocFree pins the steady-state allocation contract of
+// the evaluator paths the parallel decide scan runs per peer.
+func TestEvaluatorAllocFree(t *testing.T) {
+	eng := evalSystem(t, 4, 5)
+	ev := eng.NewEvaluator()
+	ev.EvaluateMoves(0) // warm scratch
+	ev.EvaluateContribution(0)
+	avg := testing.AllocsPerRun(100, func() {
+		ev.EvaluateMoves(3)
+		ev.EvaluateContribution(4)
+		ev.PeerCost(5, ev.NonEmpty()[0])
+	})
+	if avg != 0 {
+		t.Fatalf("evaluator steady state allocates %v allocs/op, want 0", avg)
+	}
+}

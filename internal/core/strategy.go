@@ -37,6 +37,18 @@ type Strategy interface {
 	Decide(e *Engine, p int, baseline float64, allowNew bool) Decision
 }
 
+// EvalStrategy is implemented by strategies whose decision can run
+// through a caller-provided Evaluator. Decide is side-effect-free, so
+// workers holding private evaluators may call DecideEval concurrently
+// over a frozen engine — the basis of the protocol's parallel phase-1
+// scan. DecideEval(e.Eval(), ...) and Decide(e, ...) are the same
+// computation; the built-in strategies implement Decide as exactly
+// that delegation.
+type EvalStrategy interface {
+	Strategy
+	DecideEval(ev *Evaluator, p int, baseline float64, allowNew bool) Decision
+}
+
 // Selfish implements §3.1.1: the peer moves to the cluster minimizing
 // its own individual cost; the request gain is
 // pgain = pcost(p, c_cur) − pcost(p, c_new).
@@ -58,7 +70,12 @@ func (s *Selfish) Name() string { return "selfish" }
 
 // Decide implements Strategy.
 func (s *Selfish) Decide(e *Engine, p int, baseline float64, allowNew bool) Decision {
-	ev := e.EvaluateMoves(p)
+	return s.DecideEval(e.Eval(), p, baseline, allowNew)
+}
+
+// DecideEval implements EvalStrategy.
+func (s *Selfish) DecideEval(evl *Evaluator, p int, baseline float64, allowNew bool) Decision {
+	ev := evl.EvaluateMoves(p)
 	d := Decision{Peer: p, From: ev.Cur}
 	if ev.Best != ev.Cur && ev.BestCost < ev.CurCost {
 		d.To = ev.Best
@@ -71,7 +88,7 @@ func (s *Selfish) Decide(e *Engine, p int, baseline float64, allowNew bool) Deci
 	// being alone actually helps (§3.2).
 	if allowNew && !math.IsNaN(baseline) &&
 		ev.CurCost-baseline > s.DriftThreshold &&
-		ev.AloneCost < ev.CurCost && e.cfg.Size(ev.Cur) > 1 {
+		ev.AloneCost < ev.CurCost && evl.e.cfg.Size(ev.Cur) > 1 {
 		d.Gain = ev.CurCost - ev.AloneCost
 		d.Move = true
 		d.NewCluster = true
@@ -94,13 +111,18 @@ func NewAltruistic() *Altruistic { return &Altruistic{} }
 func (a *Altruistic) Name() string { return "altruistic" }
 
 // Decide implements Strategy.
-func (a *Altruistic) Decide(e *Engine, p int, _ float64, _ bool) Decision {
-	ev := e.EvaluateContribution(p)
+func (a *Altruistic) Decide(e *Engine, p int, baseline float64, allowNew bool) Decision {
+	return a.DecideEval(e.Eval(), p, baseline, allowNew)
+}
+
+// DecideEval implements EvalStrategy.
+func (a *Altruistic) DecideEval(evl *Evaluator, p int, _ float64, _ bool) Decision {
+	ev := evl.EvaluateContribution(p)
 	d := Decision{Peer: p, From: ev.Cur}
 	if ev.Best == ev.Cur {
 		return d
 	}
-	gain := ev.BestContribution - ev.CurContribution - e.DeltaMembership(ev.Best)
+	gain := ev.BestContribution - ev.CurContribution - evl.DeltaMembership(ev.Best)
 	if gain <= 0 {
 		return d
 	}
@@ -132,24 +154,31 @@ func NewHybrid(lambda float64) *Hybrid {
 // Name implements Strategy.
 func (h *Hybrid) Name() string { return "hybrid" }
 
-// Decide implements Strategy. It scores every non-empty cluster by
-// λ·pgain + (1−λ)·clgain and requests the best positive-score move.
-func (h *Hybrid) Decide(e *Engine, p int, _ float64, _ bool) Decision {
+// Decide implements Strategy.
+func (h *Hybrid) Decide(e *Engine, p int, baseline float64, allowNew bool) Decision {
+	return h.DecideEval(e.Eval(), p, baseline, allowNew)
+}
+
+// DecideEval implements EvalStrategy. It scores every non-empty
+// cluster by λ·pgain + (1−λ)·clgain and requests the best
+// positive-score move.
+func (h *Hybrid) DecideEval(evl *Evaluator, p int, _ float64, _ bool) Decision {
+	e := evl.e
 	cur := e.cfg.ClusterOf(p)
-	curCost := e.PeerCost(p, cur)
-	curContrib := e.Contribution(p, cur)
+	curCost := evl.PeerCost(p, cur)
+	curContrib := evl.Contribution(p, cur)
 	d := Decision{Peer: p, From: cur}
 	bestScore := 0.0
 	bestC := cur
-	// The scratch non-empty list stays valid through the loop: PeerCost
+	// The private non-empty list stays valid through the loop: PeerCost
 	// and Contribution do not refresh it and the configuration does not
 	// change during evaluation.
-	for _, c := range e.nonEmptyScratch() {
+	for _, c := range evl.NonEmpty() {
 		if c == cur {
 			continue
 		}
-		pg := curCost - e.PeerCost(p, c)
-		cg := e.Contribution(p, c) - curContrib - e.DeltaMembership(c)
+		pg := curCost - evl.PeerCost(p, c)
+		cg := evl.Contribution(p, c) - curContrib - evl.DeltaMembership(c)
 		score := h.Lambda*pg + (1-h.Lambda)*cg
 		if score > bestScore || (score == bestScore && bestC != cur && c < bestC) {
 			bestScore, bestC = score, c

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// RunInterleaved measures what the stepped maintenance scheduler buys:
+// join/leave latency while a reformulation period is in progress. A
+// churner goroutine issues join+leave pairs against the engine mutex
+// while maintenance runs under three regimes:
+//
+//   - idle: no maintenance at all — the floor for a mutation.
+//   - monolithic: each period runs to completion under one mutex hold
+//     (the pre-scheduler behavior); a mutation arriving mid-period
+//     waits for every remaining round.
+//   - step-K: the period is a resumable protocol.Period advanced K
+//     work units per hold, the mutex released between steps; a
+//     mutation waits for at most one step.
+//
+// Each regime runs the same number of periods over its own private
+// system (churn mutates the shared workload) from a singleton start,
+// so periods have real work. The table reports the observed mutation
+// count and its latency distribution. Latencies are wall-clock — this
+// driver measures scheduling, so unlike the cost experiments its
+// numbers vary run to run; the structure (monolithic p99 of the order
+// of a period, stepped p99 of the order of a step) is the result.
+func RunInterleaved(p Params, budgets []int) *metrics.Table {
+	if len(budgets) == 0 {
+		budgets = []int{1, 16, 128}
+	}
+	t := metrics.NewTable("Extension: join/leave latency vs in-progress maintenance (stepped scheduler)",
+		"regime", "periods", "period-ms", "mutations", "p50-ms", "p95-ms", "p99-ms", "max-ms")
+	const periods = 4
+	t.AddRow(interleavedCell(p, "idle", 0, false, periods)...)
+	t.AddRow(interleavedCell(p, "monolithic", 0, true, periods)...)
+	for _, b := range budgets {
+		t.AddRow(interleavedCell(p, fmt.Sprintf("step-%d", b), b, true, periods)...)
+	}
+	return t
+}
+
+// interleavedCell runs one regime and renders its row. Cells run
+// serially — concurrent cells would contend for cores and corrupt
+// each other's latency numbers.
+func interleavedCell(p Params, name string, budget int, maintain bool, periods int) []string {
+	sys := Build(p, SameCategory)
+	rng := stats.NewRNG(p.Seed ^ 0x2545f4914f6cdd1d)
+	eng := sys.NewEngine(sys.InitialConfig(InitSingletons, rng))
+	runner := sys.NewRunnerWorkers(eng, core.NewSelfish(), true, runtime.GOMAXPROCS(0))
+
+	var mu sync.Mutex
+	done := make(chan struct{})
+	var maintMs float64
+
+	// The churner: join+leave pairs against the mutex until
+	// maintenance finishes (or, idle, for a fixed op count).
+	var lat []float64
+	churn := func(stop <-chan struct{}, ops int) {
+		for i := 0; ops <= 0 || i < ops; i++ {
+			if stop != nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			cat := rngIntn(i, p.Categories)
+			t0 := time.Now()
+			mu.Lock()
+			pid := sys.JoinPeer(eng, cat, cat, rng)
+			mu.Unlock()
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+			t0 = time.Now()
+			mu.Lock()
+			sys.LeavePeer(eng, pid)
+			mu.Unlock()
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+			runtime.Gosched()
+		}
+	}
+
+	if !maintain {
+		start := time.Now()
+		churn(nil, 200)
+		maintMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done)
+			start := time.Now()
+			for period := 0; period < periods; period++ {
+				if budget <= 0 {
+					// Monolithic: the whole period under one hold.
+					mu.Lock()
+					runner.Run()
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				per := runner.Begin()
+				for {
+					if per.Step(budget) {
+						mu.Unlock()
+						break
+					}
+					mu.Unlock()
+					runtime.Gosched()
+					mu.Lock()
+				}
+			}
+			maintMs = float64(time.Since(start).Nanoseconds()) / 1e6
+		}()
+		churn(done, 0)
+		wg.Wait()
+	}
+
+	sort.Float64s(lat)
+	row := []string{name, metrics.I(periods), metrics.F(maintMs, 1), metrics.I(len(lat))}
+	if len(lat) == 0 {
+		return append(row, "-", "-", "-", "-")
+	}
+	return append(row,
+		metrics.F(stats.Quantile(lat, 0.50), 3),
+		metrics.F(stats.Quantile(lat, 0.95), 3),
+		metrics.F(stats.Quantile(lat, 0.99), 3),
+		metrics.F(lat[len(lat)-1], 3))
+}
+
+// rngIntn is a tiny deterministic category picker that keeps the
+// churner free of the shared RNG outside the mutex.
+func rngIntn(i, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (i * 2654435761 >> 8) % n
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRunInterleavedStructure checks the scenario's shape: one row
+// per regime, mutations observed in every unblocked regime, and sane
+// latency cells. Absolute numbers are wall-clock and deliberately not
+// asserted.
+func TestRunInterleavedStructure(t *testing.T) {
+	p := DefaultParams().Scaled(8)
+	p.MaxRounds = 60
+	tb := RunInterleaved(p, []int{1, 8})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows=%d want 4 (idle, monolithic, step-1, step-8)", len(tb.Rows))
+	}
+	wantRegimes := []string{"idle", "monolithic", "step-1", "step-8"}
+	for i, row := range tb.Rows {
+		if row[0] != wantRegimes[i] {
+			t.Fatalf("row %d regime %q, want %q", i, row[0], wantRegimes[i])
+		}
+		muts, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("row %d mutations %q: %v", i, row[3], err)
+		}
+		// Only the idle regime is guaranteed mutations (it runs a fixed
+		// op count); maintenance regimes can finish before a loaded CI
+		// scheduler lets the churner in, so their count is advisory.
+		if row[0] == "idle" && muts == 0 {
+			t.Fatalf("regime %s observed no mutations", row[0])
+		}
+		if muts > 0 {
+			if v, err := strconv.ParseFloat(row[4], 64); err != nil || v < 0 {
+				t.Fatalf("regime %s p50 %q", row[0], row[4])
+			}
+		}
+	}
+}

@@ -482,9 +482,19 @@ func (s *System) NewEngine(cfg *cluster.Config) *core.Engine {
 
 // NewRunner builds a protocol runner with the system's parameters.
 func (s *System) NewRunner(eng *core.Engine, strat core.Strategy, allowNew bool) *protocol.Runner {
+	return s.NewRunnerWorkers(eng, strat, allowNew, 0)
+}
+
+// NewRunnerWorkers is NewRunner with a phase-1 decide worker pool of
+// the given size (0 or 1: serial). Reports are byte-identical for any
+// value. Experiment drivers keep the serial protocol — their
+// parallelism lives at the cell level — while serving layers pass
+// their core budget through.
+func (s *System) NewRunnerWorkers(eng *core.Engine, strat core.Strategy, allowNew bool, workers int) *protocol.Runner {
 	return protocol.NewRunner(eng, strat, protocol.Options{
 		Epsilon:          s.Params.Epsilon,
 		MaxRounds:        s.Params.MaxRounds,
 		AllowNewClusters: allowNew,
+		Workers:          workers,
 	})
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -32,6 +34,12 @@ type Request struct {
 	Gain float64
 	// NewCluster marks a request for an empty cluster slot.
 	NewCluster bool
+	// gen is Peer's slot generation when the request was computed. A
+	// stepped period admits joins and leaves between the decide scan
+	// and the grant service; a request whose peer departed (or whose
+	// slot was reused by a newcomer) in that window is detected by the
+	// generation mismatch and dropped instead of relocating a stranger.
+	gen uint32
 }
 
 // RoundReport captures one protocol round.
@@ -83,6 +91,16 @@ type Options struct {
 	// §3.2. The update experiments of §4.2 keep the cluster count
 	// fixed and disable it.
 	AllowNewClusters bool
+	// Workers bounds the phase-1 decide worker pool. Decide is
+	// side-effect-free, so the per-cluster best requests are computed
+	// in parallel — each worker holding a private core.Evaluator over
+	// the frozen engine — and merged in worklist order under the total
+	// (gain desc, peer asc) tie-break, making every report
+	// byte-identical to the serial scan for any value. 0 or 1 scans
+	// serially; values above 1 require the strategy to implement
+	// core.EvalStrategy (the built-in strategies do) and quietly fall
+	// back to serial otherwise.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's experimental setting.
@@ -121,6 +139,19 @@ type Runner struct {
 	nonEmpty    []cluster.CID
 	joinLocked  []bool
 	leaveLocked []bool
+
+	// Phase-1 scan scratch: per-worklist-position best request and
+	// gain-report message count, written by index so the merge is
+	// independent of scheduling; evals holds one private evaluator per
+	// decide worker.
+	bests    []Request
+	bestMsgs []int
+	evals    []*core.Evaluator
+
+	// period is the most recent Period (see period.go). Begin recycles
+	// its storage once it finished; a Begin that supersedes an
+	// unfinished period leaves it frozen and allocates fresh storage.
+	period *Period
 }
 
 // NewRunner creates a protocol runner. Options zero values are replaced
@@ -145,7 +176,19 @@ func (r *Runner) Engine() *core.Engine { return r.eng }
 // baseline (which disables the drift rule), as do peers joining after
 // the snapshot — a newcomer founds no drift cluster in its first
 // period.
+//
+// BeginPeriod also clears the grant-phase lock tables and invalidates
+// any in-progress stepped Period (its next Step reports done): locks
+// belong to a single round, and an aborted or superseded period must
+// never leak its lock entries into the next one — previously stale
+// entries survived until a Cmax-growth reallocation happened to drop
+// them.
 func (r *Runner) BeginPeriod() {
+	clear(r.joinLocked)
+	clear(r.leaveLocked)
+	if r.period != nil {
+		r.period.phase = phaseDone
+	}
 	n := r.eng.NumSlots()
 	if cap(r.baseline) < n {
 		r.baseline = make([]float64, n)
@@ -164,49 +207,198 @@ func (r *Runner) BeginPeriod() {
 	}
 }
 
-// RunRound executes one two-phase round and returns its report.
+// growLocks sizes the lock tables to the current Cmax, preserving
+// entries already set: a stepped round may be mid-grant-phase when a
+// join adds cluster slots, and a reallocation would drop its locks.
+func (r *Runner) growLocks() {
+	cmax := r.eng.Config().Cmax()
+	for len(r.joinLocked) < cmax {
+		r.joinLocked = append(r.joinLocked, false)
+		r.leaveLocked = append(r.leaveLocked, false)
+	}
+}
+
+// ensureEvals sizes the private-evaluator pool for w decide workers.
+func (r *Runner) ensureEvals(w int) {
+	for len(r.evals) < w {
+		r.evals = append(r.evals, r.eng.NewEvaluator())
+	}
+}
+
+// decideOne evaluates peer p under the period baseline rules, through
+// a private evaluator when the strategy supports it (es non-nil) and
+// through the engine otherwise.
+func (r *Runner) decideOne(es core.EvalStrategy, ev *core.Evaluator, p int) core.Decision {
+	// Peers that joined after the period baseline was taken — either
+	// beyond its length or into a reused slot whose join generation
+	// moved on — decide with a NaN baseline.
+	baseline := math.NaN()
+	if p < len(r.baseline) && r.eng.SlotGeneration(p) == r.baselineGen[p] {
+		baseline = r.baseline[p]
+	}
+	if es != nil {
+		return es.DecideEval(ev, p, baseline, r.opts.AllowNewClusters)
+	}
+	return r.strategy.Decide(r.eng, p, baseline, r.opts.AllowNewClusters)
+}
+
+// decideCluster scans one non-empty cluster's members and returns its
+// best request — Gain is -Inf when no member requests a move — plus
+// the gain-report message count (one per non-representative member).
+// Membership order does not matter: Decide has no side effects and
+// the best request is selected under the total order (gain desc, peer
+// asc).
+func (r *Runner) decideCluster(es core.EvalStrategy, ev *core.Evaluator, c cluster.CID) (Request, int) {
+	members := r.eng.Config().MembersUnsorted(c)
+	best := Request{Gain: math.Inf(-1)}
+	for _, p := range members {
+		d := r.decideOne(es, ev, p)
+		if !d.Move || d.Gain <= r.opts.Epsilon {
+			continue
+		}
+		if d.Gain > best.Gain || (d.Gain == best.Gain && d.Peer < best.Peer) {
+			best = Request{Peer: d.Peer, From: d.From, To: d.To, Gain: d.Gain,
+				NewCluster: d.NewCluster, gen: r.eng.SlotGeneration(d.Peer)}
+		}
+	}
+	return best, len(members) - 1
+}
+
+// decideBatch runs the phase-1 scan over clusters (all non-empty),
+// filling r.bests and r.bestMsgs by position. With Workers > 1 and an
+// EvalStrategy the clusters fan out over a worker pool; every result
+// is written to its own index, so the merged outcome is byte-identical
+// for any worker count, including the serial path.
+func (r *Runner) decideBatch(clusters []cluster.CID) {
+	n := len(clusters)
+	if cap(r.bests) < n {
+		r.bests = make([]Request, n)
+		r.bestMsgs = make([]int, n)
+	}
+	r.bests = r.bests[:n]
+	r.bestMsgs = r.bestMsgs[:n]
+
+	es, _ := r.strategy.(core.EvalStrategy)
+	w := r.opts.Workers
+	if w > n {
+		w = n
+	}
+	if es == nil || w <= 1 {
+		var ev *core.Evaluator
+		if es != nil {
+			ev = r.eng.Eval()
+		}
+		for i, c := range clusters {
+			r.bests[i], r.bestMsgs[i] = r.decideCluster(es, ev, c)
+		}
+		return
+	}
+	r.ensureEvals(w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(ev *core.Evaluator) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r.bests[i], r.bestMsgs[i] = r.decideCluster(es, ev, clusters[i])
+			}
+		}(r.evals[g])
+	}
+	wg.Wait()
+}
+
+// sortRequests orders requests for the grant phase: decreasing gain,
+// ties broken by peer ID for determinism (the order is total: a peer
+// issues at most one request per round).
+func sortRequests(requests []Request) {
+	slices.SortFunc(requests, func(a, b Request) int {
+		switch {
+		case a.Gain > b.Gain:
+			return -1
+		case a.Gain < b.Gain:
+			return 1
+		}
+		return a.Peer - b.Peer
+	})
+}
+
+// serve applies one request under the cycle-avoiding lock rule,
+// recording a granted move (and its two coordination messages) into
+// rep. Requests staled by membership edits between a stepped decide
+// scan and this grant — the peer departed, its slot was reused, or it
+// is no longer in its From cluster — are dropped; in a monolithic
+// round nothing can stale them and the checks never fire.
+func (r *Runner) serve(req Request, rep *RoundReport) {
+	eng := r.eng
+	if req.Peer >= eng.NumSlots() || !eng.IsLive(req.Peer) ||
+		eng.SlotGeneration(req.Peer) != req.gen ||
+		eng.Config().ClusterOf(req.Peer) != req.From {
+		return
+	}
+	to := req.To
+	if req.NewCluster {
+		slot, ok := eng.Config().EmptyCluster()
+		if !ok {
+			return // Cmax reached; drop the request this round
+		}
+		to = slot
+	}
+	if r.leaveLocked[req.From] || r.joinLocked[to] {
+		return
+	}
+	// The two involved representatives coordinate the move.
+	rep.Messages += 2
+	eng.Move(req.Peer, to)
+	// Granting a move from->to locks both ends: no more joins to
+	// `from` (direction leave) and no more leaves from `to`
+	// (direction join).
+	r.joinLocked[req.From] = true
+	r.leaveLocked[to] = true
+	req.To = to
+	rep.Moves = append(rep.Moves, req)
+}
+
+// resetLocks releases the lock entries the round's granted moves set;
+// only granted moves set entries.
+func (r *Runner) resetLocks(rep *RoundReport) {
+	for _, m := range rep.Moves {
+		r.joinLocked[m.From] = false
+		r.leaveLocked[m.To] = false
+	}
+}
+
+// RunRound executes one two-phase round and returns its report. It
+// supersedes an in-progress stepped Period: the period is aborted —
+// its grant-phase locks released, its handle frozen at done — before
+// the round runs, so the two APIs cannot corrupt the shared lock
+// tables or leave a stale period resumable over a mutated
+// configuration.
 func (r *Runner) RunRound(round int) RoundReport {
+	if r.period != nil && r.period.phase != phaseDone {
+		r.period.Abort()
+	}
 	if r.baseline == nil {
 		r.BeginPeriod()
 	}
 	rep := RoundReport{Round: round}
 	cfg := r.eng.Config()
-	if cmax := cfg.Cmax(); len(r.joinLocked) < cmax {
-		r.joinLocked = make([]bool, cmax)
-		r.leaveLocked = make([]bool, cmax)
-	}
+	r.growLocks()
 
 	// Phase 1: gather at most one request per non-empty cluster.
 	r.nonEmpty = cfg.AppendNonEmpty(r.nonEmpty[:0])
 	nonEmpty := r.nonEmpty
+	r.decideBatch(nonEmpty)
 	requests := r.requests[:0]
-	for _, c := range nonEmpty {
-		// Membership order does not matter: Decide has no side effects
-		// and the best request is selected under the total order
-		// (gain desc, peer asc).
-		members := cfg.MembersUnsorted(c)
-		// Each member reports its gain to the representative: one
-		// message per non-representative member.
-		rep.Messages += len(members) - 1
-		best := Request{Gain: math.Inf(-1)}
-		for _, p := range members {
-			// Peers that joined after the period baseline was taken —
-			// either beyond its length or into a reused slot whose join
-			// generation moved on — decide with a NaN baseline.
-			baseline := math.NaN()
-			if p < len(r.baseline) && r.eng.SlotGeneration(p) == r.baselineGen[p] {
-				baseline = r.baseline[p]
-			}
-			d := r.strategy.Decide(r.eng, p, baseline, r.opts.AllowNewClusters)
-			if !d.Move || d.Gain <= r.opts.Epsilon {
-				continue
-			}
-			if d.Gain > best.Gain || (d.Gain == best.Gain && d.Peer < best.Peer) {
-				best = Request{Peer: d.Peer, From: d.From, To: d.To, Gain: d.Gain, NewCluster: d.NewCluster}
-			}
-		}
-		if !math.IsInf(best.Gain, -1) {
-			requests = append(requests, best)
+	for i := range nonEmpty {
+		// Each member reports its gain to the representative.
+		rep.Messages += r.bestMsgs[i]
+		if !math.IsInf(r.bests[i].Gain, -1) {
+			requests = append(requests, r.bests[i])
 		}
 	}
 	r.requests = requests
@@ -218,45 +410,12 @@ func (r *Runner) RunRound(round int) RoundReport {
 	rep.Requests = len(requests)
 
 	// Phase 2: serve requests in decreasing gain order under the lock
-	// rule. Ties break by peer ID for determinism (the order is total:
-	// a peer issues at most one request).
-	slices.SortFunc(requests, func(a, b Request) int {
-		switch {
-		case a.Gain > b.Gain:
-			return -1
-		case a.Gain < b.Gain:
-			return 1
-		}
-		return a.Peer - b.Peer
-	})
+	// rule.
+	sortRequests(requests)
 	for _, req := range requests {
-		to := req.To
-		if req.NewCluster {
-			slot, ok := cfg.EmptyCluster()
-			if !ok {
-				continue // Cmax reached; drop the request this round
-			}
-			to = slot
-		}
-		if r.leaveLocked[req.From] || r.joinLocked[to] {
-			continue
-		}
-		// The two involved representatives coordinate the move.
-		rep.Messages += 2
-		r.eng.Move(req.Peer, to)
-		// Granting a move from->to locks both ends: no more joins to
-		// `from` (direction leave) and no more leaves from `to`
-		// (direction join).
-		r.joinLocked[req.From] = true
-		r.leaveLocked[to] = true
-		req.To = to
-		rep.Moves = append(rep.Moves, req)
+		r.serve(req, &rep)
 	}
-	// Reset the lock tables; only granted moves set entries.
-	for _, m := range rep.Moves {
-		r.joinLocked[m.From] = false
-		r.leaveLocked[m.To] = false
-	}
+	r.resetLocks(&rep)
 	rep.Granted = len(rep.Moves)
 	rep.SCost = r.eng.SCostNormalized()
 	rep.WCost = r.eng.WCostNormalized()

@@ -92,7 +92,27 @@ func (m *endpointMetrics) snapshot() map[string]any {
 	}
 }
 
-// serverMetrics holds one endpointMetrics per instrumented endpoint.
+// holdSnapshot renders a bare histogram (no error counter) for the
+// /stats payload — used for the mutation-lock hold times, where the
+// histogram is the entire story: how long any single critical section
+// stalls a queued join or leave.
+func (h *latencyHist) holdSnapshot() map[string]any {
+	total, q := h.quantiles([]float64{0.5, 0.95, 0.99})
+	meanUs := 0.0
+	if total > 0 {
+		meanUs = float64(h.sumNs.Load()) / float64(total) / 1e3
+	}
+	return map[string]any{
+		"holds":   total,
+		"mean_us": meanUs,
+		"p50_us":  float64(q[0].Nanoseconds()) / 1e3,
+		"p95_us":  float64(q[1].Nanoseconds()) / 1e3,
+		"p99_us":  float64(q[2].Nanoseconds()) / 1e3,
+	}
+}
+
+// serverMetrics holds one endpointMetrics per instrumented endpoint
+// plus the mutation-lock hold-time histogram.
 type serverMetrics struct {
 	query    endpointMetrics
 	batch    endpointMetrics
@@ -103,6 +123,12 @@ type serverMetrics struct {
 	reform   endpointMetrics
 	compact  endpointMetrics
 	snapshot endpointMetrics
+
+	// lockHold records every mutation-lock hold duration (joins,
+	// leaves, compactions, snapshots and individual maintenance
+	// steps). Under the stepped scheduler its p99 is bounded by one
+	// step's work, not one period's.
+	lockHold latencyHist
 }
 
 // endpoints renders the per-endpoint stats map.

@@ -23,7 +23,17 @@
 // one mutex: the cost engine is single-threaded by design (it owns
 // scratch buffers), and membership operations are cheap (proportional
 // to the moving peer's footprint), so a single writer serializes
-// cleanly. After every mutation the server snapshots the routing
+// cleanly. Maintenance periods, the one mutation whose cost grows
+// with the system rather than with one peer's footprint, run OFF the
+// mutation critical path: a resumable protocol.Period is stepped with
+// at most StepBudget work units per mutex hold (each step's phase-1
+// decide scan additionally fans out over ReformWorkers cores), the
+// lock is released between steps so queued joins and leaves
+// interleave with the period, and the read view is republished after
+// every step that granted relocations. p99 mutation latency is
+// therefore bounded by one step, not one period; the /stats
+// mutation_lock histogram records every hold. After every mutation
+// the server snapshots the routing
 // state into an immutable read view — term table, posting lists,
 // cluster assignment, stats gauges — and publishes it through an
 // atomic pointer. POST /query, POST /query/batch and GET /stats are
@@ -59,6 +69,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -92,6 +103,19 @@ type Config struct {
 	// ReformEvery drives maintenance periods on a ticker; 0 disables
 	// the ticker (maintenance then runs only via POST /reform).
 	ReformEvery time.Duration
+	// StepBudget bounds the work — phase-1 cluster scans plus phase-2
+	// grant services — one maintenance step performs while holding the
+	// mutation lock; between steps the lock is released, so joins and
+	// leaves interleave with an in-progress period and p99 mutation
+	// latency is bounded by one step instead of one period. 0 means
+	// the default 32; a negative value runs each whole period under a
+	// single lock hold (the pre-scheduler behavior).
+	StepBudget int
+	// ReformWorkers sizes the worker pool the phase-1 decide scan of
+	// each maintenance step fans out over (protocol.Options.Workers).
+	// 0 means one worker per CPU; 1 scans serially. Any value produces
+	// byte-identical maintenance outcomes.
+	ReformWorkers int
 	// SnapshotPath, when set, is where periodic and shutdown snapshots
 	// are written.
 	SnapshotPath string
@@ -126,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 300
 	}
+	if c.StepBudget == 0 {
+		c.StepBudget = 32
+	}
+	if c.ReformWorkers == 0 {
+		c.ReformWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.CompactDeadRatio == 0 {
 		c.CompactDeadRatio = 0.5
 	}
@@ -144,12 +174,26 @@ type Server struct {
 
 	// mu serializes the mutation path: every write to vocab, eng and
 	// runner happens under it, followed by a publishLocked. The read
-	// path (query, batch, stats) never takes it.
+	// path (query, batch, stats) never takes it. Acquire it through
+	// lockMutation so every hold is recorded in the hold-time
+	// histogram; maintenance periods take it once per bounded step,
+	// never across steps.
 	mu      sync.Mutex
 	vocab   *attr.Vocab
 	eng     *core.Engine
 	runner  *protocol.Runner
 	started time.Time
+
+	// maintMu serializes maintenance periods themselves (the ticker
+	// and POST /reform): one period at a time, while mu stays free
+	// between its steps.
+	maintMu sync.Mutex
+	// maintProgress is the in-progress period's latest position (nil
+	// when no period runs); /stats reads it lock-free.
+	maintProgress atomic.Pointer[protocol.Progress]
+	// stepHook, when set (tests only), runs between maintenance steps
+	// with the mutation lock released.
+	stepHook func()
 
 	// view is the atomically published read snapshot; see view.go.
 	view atomic.Pointer[readView]
@@ -216,8 +260,7 @@ func (s *Server) Start() {
 	if s.cfg.CompactEvery > 0 {
 		s.wg.Add(1)
 		go s.tick(s.cfg.CompactEvery, func() {
-			s.mu.Lock()
-			defer s.mu.Unlock()
+			defer s.lockMutation()()
 			// Republish only when the check actually compacted: a
 			// no-op tick changes nothing a view carries.
 			if s.maybeCompactLocked() > 0 {
@@ -252,20 +295,76 @@ func (s *Server) Shutdown() error {
 	return nil
 }
 
-// Reform runs one maintenance period now and returns its report. A
-// threshold compaction check rides along: maintenance periods are the
-// natural cadence at which churned-away demand accumulates. Queries
-// keep serving from the previous view for the whole period; the new
-// clustering is published at the end.
-func (s *Server) Reform() protocol.Report {
+// lockMutation acquires the mutation lock and returns its release
+// func, which records the hold duration in the mutation-lock
+// histogram /stats exposes — the direct measure of how long any
+// single critical section can stall a join or leave.
+func (s *Server) lockMutation() func() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	rpt := s.runner.Run()
+	start := time.Now()
+	return func() {
+		s.met.lockHold.Observe(time.Since(start))
+		s.mu.Unlock()
+	}
+}
+
+// Reform runs one maintenance period now and returns its report.
+//
+// The period executes off the mutation critical path: a resumable
+// protocol.Period is stepped with StepBudget work units per step, the
+// mutation lock is taken for one step at a time and released between
+// steps, so joins, leaves and compactions interleave with an
+// in-progress period instead of stalling behind all of its rounds.
+// The read view is republished after every step that granted
+// relocations — queries see the overlay improve mid-period — and a
+// threshold compaction check rides along at the end: maintenance
+// periods are the natural cadence at which churned-away demand
+// accumulates. Concurrent Reform calls (the ticker and POST /reform)
+// serialize on maintMu, one period at a time.
+func (s *Server) Reform() protocol.Report {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	budget := s.cfg.StepBudget
+	if budget < 0 {
+		budget = 0 // protocol: unbounded step = whole period in one hold
+	}
+
+	unlock := s.lockMutation()
+	per := s.runner.Begin()
+	pr := per.Progress()
+	s.maintProgress.Store(&pr)
+	for {
+		moves := per.Moves()
+		done := per.Step(budget)
+		if per.Moves() > moves {
+			s.publishLocked()
+		}
+		pr := per.Progress()
+		s.maintProgress.Store(&pr)
+		if done {
+			s.maybeCompactLocked()
+			s.publishLocked()
+			unlock()
+			break
+		}
+		unlock()
+		// The lock is free: queued joins and leaves get their turn
+		// before the next step is scheduled.
+		if h := s.stepHook; h != nil {
+			h()
+		}
+		runtime.Gosched()
+		unlock = s.lockMutation()
+	}
+	s.maintProgress.Store(nil)
+
+	rpt := per.Report()
+	// Detach the report from the runner-recycled Rounds storage: the
+	// caller may still be reading it when the next period begins.
+	rpt.Rounds = append([]protocol.RoundReport(nil), rpt.Rounds...)
 	s.reforms.Add(1)
 	s.rounds.Add(int64(rpt.RoundsRun))
 	s.moves.Add(int64(countMoves(rpt)))
-	s.maybeCompactLocked()
-	s.publishLocked()
 	return rpt
 }
 
@@ -274,8 +373,7 @@ func (s *Server) Reform() protocol.Report {
 // count, and the daemon's compaction generation — the same triple
 // POST /compact reports.
 func (s *Server) Compact() (removed, queries, generation int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockMutation()()
 	removed = s.compactLocked()
 	s.publishLocked()
 	return removed, s.eng.Workload().NumQueries(), int(s.compactions.Load())
@@ -393,8 +491,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockMutation()()
 	items := make([]attr.Set, 0, len(req.Items))
 	for _, it := range req.Items {
 		items = append(items, attr.NewSet(s.vocab.InternAll(it)...))
@@ -432,8 +529,7 @@ func (s *Server) peerID(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockMutation()()
 	id, ok := s.peerID(w, r)
 	if !ok {
 		return
@@ -448,8 +544,7 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockMutation()()
 	id, ok := s.peerID(w, r)
 	if !ok {
 		return
@@ -593,8 +688,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"queries_served":    s.served.Load(),
 		"published_views":   s.publishes.Load(),
 		"endpoints":         s.met.endpoints(),
+		"maintenance":       s.maintenanceStats(),
+		"mutation_lock":     s.met.lockHold.holdSnapshot(),
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 	})
+}
+
+// maintenanceStats renders the in-progress period's position (idle
+// between periods). Lock-free: the scheduler publishes a Progress
+// snapshot after every step.
+func (s *Server) maintenanceStats() map[string]any {
+	out := map[string]any{
+		"active":      false,
+		"step_budget": s.cfg.StepBudget,
+		"workers":     s.cfg.ReformWorkers,
+	}
+	if pr := s.maintProgress.Load(); pr != nil {
+		out["active"] = true
+		out["round"] = pr.Round
+		out["phase"] = pr.Phase
+		out["pos"] = pr.Pos
+		out["total"] = pr.Total
+		out["requests"] = pr.Requests
+		out["granted"] = pr.Granted
+		out["steps"] = pr.Steps
+	}
+	return out
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

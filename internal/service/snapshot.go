@@ -46,8 +46,7 @@ type PeerSnapshot struct {
 
 // Snapshot captures the daemon's current state.
 func (s *Server) Snapshot() *Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockMutation()()
 	snap := &Snapshot{
 		Version:     snapshotVersion,
 		Alpha:       s.cfg.Alpha,
@@ -135,6 +134,7 @@ func (s *Server) newRunner() *protocol.Runner {
 		Epsilon:          s.cfg.Epsilon,
 		MaxRounds:        s.cfg.MaxRounds,
 		AllowNewClusters: true,
+		Workers:          s.cfg.ReformWorkers,
 	})
 }
 

@@ -96,6 +96,10 @@ type Options struct {
 	StartFromCategories bool
 	// AllowNewClusters enables empty-cluster creation (§3.2).
 	AllowNewClusters bool
+	// Workers sizes the worker pool the protocol's phase-1 decide scan
+	// fans out over (0 or 1: serial). Reports are byte-identical for
+	// every value; parallelism only buys wall-clock time on multicore.
+	Workers int
 	// Seed drives all randomness; equal seeds give equal systems.
 	Seed uint64
 }
@@ -108,6 +112,9 @@ type System struct {
 	runner *protocol.Runner
 	strat  core.Strategy
 	rng    *stats.RNG
+	// period is the in-progress stepped maintenance period driven by
+	// StepReform, nil when none is active.
+	period *protocol.Period
 }
 
 // New builds a System. Zero-valued options fall back to the paper's
@@ -163,18 +170,65 @@ func New(opts Options) *System {
 		opts:   opts,
 		sys:    sys,
 		eng:    eng,
-		runner: sys.NewRunner(eng, strat, opts.AllowNewClusters),
+		runner: sys.NewRunnerWorkers(eng, strat, opts.AllowNewClusters, opts.Workers),
 		strat:  strat,
 		rng:    rng,
 	}
 }
 
 // Run executes the reformulation protocol until no peer requests a
-// relocation (or MaxRounds), returning the full report.
-func (s *System) Run() Report { return s.runner.Run() }
+// relocation (or MaxRounds), returning the full report. It supersedes
+// any stepped period in progress (see StepReform); that period's
+// partial work stays applied, its report is discarded.
+func (s *System) Run() Report {
+	s.period = nil
+	return s.runner.Run()
+}
 
 // RunRound executes a single protocol round.
 func (s *System) RunRound(round int) RoundReport { return s.runner.RunRound(round) }
+
+// StepReform advances maintenance by one bounded step — at most
+// `budget` work units: phase-1 relocation decisions over single
+// clusters plus phase-2 grant services (budget <= 0 runs a whole
+// period, which is Run re-spelled). The first call begins a resumable
+// period; subsequent calls continue it; when the period completes
+// (convergence or MaxRounds) StepReform returns done=true with its
+// report, and the next call begins a new period.
+//
+// Between steps the system may mutate freely: Join, Leave and
+// CompactWorkload interleave with an in-progress period — a join's
+// latency is bounded by the one step in front of it, not by the whole
+// period — and with no interleaving the completed period's moves,
+// costs and report are byte-identical to Run's. Content updates
+// (RedirectInterest, ReplaceContent, ChurnPeer) re-baseline the
+// runner and therefore cancel an in-progress period; Run supersedes
+// one.
+func (s *System) StepReform(budget int) (done bool, report *Report) {
+	if s.period == nil || s.period.Done() {
+		s.period = s.runner.Begin()
+	}
+	if s.period.Step(budget) {
+		rpt := s.period.Report()
+		// Detach from the runner-recycled storage before the next
+		// period overwrites it.
+		rpt.Rounds = append([]RoundReport(nil), rpt.Rounds...)
+		s.period = nil
+		return true, &rpt
+	}
+	return false, nil
+}
+
+// refreshBaseline re-snapshots the period baseline after a membership
+// change — unless a stepped period is in progress: mid-period joins
+// and leaves are covered by the slot-generation machinery, and the
+// period keeps the baseline it started with.
+func (s *System) refreshBaseline() {
+	if s.period != nil && !s.period.Done() {
+		return
+	}
+	s.runner.BeginPeriod()
+}
 
 // SocialCost returns the normalized social cost (Eq. 2 / |P|).
 func (s *System) SocialCost() float64 { return s.eng.SCostNormalized() }
@@ -227,6 +281,7 @@ func (s *System) DataCategory(p int) int { return s.sys.DataCat[p] }
 func (s *System) RedirectInterest(p int, cat int, frac float64) {
 	s.sys.RedirectWorkload(p, cat, frac, s.rng)
 	s.eng.Rebuild()
+	s.period = nil
 	s.runner.BeginPeriod()
 }
 
@@ -235,6 +290,7 @@ func (s *System) RedirectInterest(p int, cat int, frac float64) {
 func (s *System) ReplaceContent(p int, cat int, frac float64) {
 	s.sys.ReplaceData(p, cat, frac, s.rng)
 	s.eng.Rebuild()
+	s.period = nil
 	s.runner.BeginPeriod()
 }
 
@@ -244,6 +300,7 @@ func (s *System) ReplaceContent(p int, cat int, frac float64) {
 func (s *System) ChurnPeer(p int, cat int) {
 	s.sys.ReplacePeerIdentity(p, cat, cat, s.rng)
 	s.eng.Rebuild()
+	s.period = nil
 	s.runner.BeginPeriod()
 }
 
@@ -253,7 +310,7 @@ func (s *System) ChurnPeer(p int, cat int) {
 // engine rebuild). It returns the new peer's ID.
 func (s *System) Join(cat int) int {
 	pid := s.sys.JoinPeer(s.eng, cat, cat, s.rng)
-	s.runner.BeginPeriod()
+	s.refreshBaseline()
 	return pid
 }
 
@@ -261,7 +318,7 @@ func (s *System) Join(cat int) int {
 // rebuild); its slot is reused by the next joiner.
 func (s *System) Leave(pid int) {
 	s.sys.LeavePeer(s.eng, pid)
-	s.runner.BeginPeriod()
+	s.refreshBaseline()
 }
 
 // IsLive reports whether slot pid currently holds a peer.
