@@ -15,17 +15,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/peer"
+	"repro/internal/protocol"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// benchResult is one microbenchmark measurement in BENCH.json.
+// benchResult is one microbenchmark measurement in BENCH.json. Peers
+// and Scale record the system the entry measured: the small class
+// shares the report-level scale, the maintenance-at-scale class runs
+// at -peers regardless of -scale.
 type benchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	Peers       int     `json:"peers,omitempty"`
+	Scale       int     `json:"scale,omitempty"`
 }
 
 // benchReport is the BENCH.json schema: the engine microbenchmarks
@@ -74,6 +80,7 @@ var gatedBenchmarks = []string{
 	"EvaluateMoves", "EvaluateContribution", "PeerCost", "Move", "SCost", "AddRemovePeer",
 	"CompactCycle", "QueryServe", "QueryServeParallel",
 	"ProtocolRound", "ProtocolRoundParallel", "ReformStep",
+	"ProtocolRoundLarge", "ProtocolRoundLargeExact", "ReformStepLarge",
 }
 
 // zeroAllocBenchmarks must report exactly 0 allocs/op in the fresh
@@ -81,7 +88,7 @@ var gatedBenchmarks = []string{
 // allocation-free by contract (RouteScratch owns every buffer), as is
 // a quiescent stepped maintenance period (runner-recycled report and
 // scratch storage), and the gate holds them there.
-var zeroAllocBenchmarks = []string{"QueryServe", "QueryServeParallel", "ReformStep"}
+var zeroAllocBenchmarks = []string{"QueryServe", "QueryServeParallel", "ReformStep", "ReformStepLarge"}
 
 // benchRegressionTolerance is the allowed ns/op growth factor.
 const benchRegressionTolerance = 1.25
@@ -96,6 +103,7 @@ func runBenchCommand(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("o", "BENCH.json", "output path; - writes to stdout")
 	scale := fs.Int("scale", 4, "shrink factor for the benchmark system (matches bench_test.go at 4)")
+	peers := fs.Int("peers", 1000, "population for the maintenance-at-scale benchmarks (unaffected by -scale)")
 	baseline := fs.String("baseline", "", "baseline BENCH.json to diff against; >25% ns/op or any allocs/op growth on the pinned hot paths fails")
 	fs.Parse(args)
 
@@ -113,7 +121,7 @@ func runBenchCommand(args []string) {
 		GOARCH: runtime.GOARCH,
 		CPU:    cpuModel(),
 	}
-	record := func(name string, fn func(b *testing.B)) {
+	recordSized := func(name string, benchPeers, benchScale int, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		report.Benchmarks = append(report.Benchmarks, benchResult{
 			Name:        name,
@@ -121,7 +129,12 @@ func runBenchCommand(args []string) {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Peers:       benchPeers,
+			Scale:       benchScale,
 		})
+	}
+	record := func(name string, fn func(b *testing.B)) {
+		recordSized(name, p.Peers, *scale, fn)
 	}
 
 	record("EvaluateMoves", func(b *testing.B) {
@@ -274,6 +287,148 @@ func runBenchCommand(args []string) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			per := stepRunner.Begin()
+			for !per.Step(8) {
+			}
+		}
+	})
+	// Maintenance at scale: a population far past the paper's 200, with
+	// the cluster count growing with it (SameCategory converges to
+	// roughly one cluster per category) and localized churn between
+	// rounds — a handful of leaves, plus joins admitted straight into
+	// the vacated peer's cluster (the maintenance admission path: a
+	// granted newcomer lands in the cluster that admitted it), dirty a
+	// few clusters' aggregates while the rest of the population stays
+	// clean. Newcomer materials are pre-generated outside the timed
+	// loop so the corpus generator's cost doesn't drown the phase-1
+	// signal. ProtocolRoundLarge runs the pruned phase-1 scan the
+	// protocol uses by default; ProtocolRoundLargeExact drives the
+	// identical churn schedule through Options.ExactDecide — their
+	// ratio is the dirty-tracking + shortlist win. ReformStepLarge pins
+	// the quiescent stepped period (and its 0-alloc contract) at scale.
+	lp := experiments.DefaultParams()
+	lp.Peers = *peers
+	// Scale the cluster count with the population as far as the corpus
+	// allows (its word scheme supports at most 16 topical categories).
+	lp.Categories = lp.Peers / 16
+	if lp.Categories < 10 {
+		lp.Categories = 10
+	}
+	if lp.Categories > 16 {
+		lp.Categories = 16
+	}
+	lp.Corpus.Categories = lp.Categories
+	lp.TotalQueries = 4 * lp.Peers
+	lp.MaxRounds = 600
+	buildLarge := func(exact bool) (*experiments.System, *core.Engine, *protocol.Runner) {
+		sys := experiments.Build(lp, experiments.SameCategory)
+		eng := sys.NewEngine(sys.InitialConfig(experiments.InitSingletons, stats.NewRNG(4)))
+		runner := protocol.NewRunner(eng, core.NewSelfish(), protocol.Options{
+			Epsilon:          lp.Epsilon,
+			MaxRounds:        lp.MaxRounds,
+			AllowNewClusters: true,
+			ExactDecide:      exact,
+		})
+		if rpt := runner.Run(); !rpt.Converged {
+			fmt.Fprintf(os.Stderr, "bench: %d-peer system did not converge (exact=%v)\n", lp.Peers, exact)
+			os.Exit(1)
+		}
+		return sys, eng, runner
+	}
+	liveSlots := func(eng *core.Engine) []int {
+		live := make([]int, 0, lp.Peers)
+		for pid := 0; pid < eng.NumSlots(); pid++ {
+			if eng.IsLive(pid) {
+				live = append(live, pid)
+			}
+		}
+		return live
+	}
+	type newcomerKit struct {
+		items   []attr.Set
+		queries []attr.Set
+		counts  []int
+	}
+	const kitsPerCat = 4
+	newKits := func(sys *experiments.System, rng *stats.RNG) [][]newcomerKit {
+		kits := make([][]newcomerKit, lp.Categories)
+		for c := range kits {
+			for i := 0; i < kitsPerCat; i++ {
+				items, queries, counts := sys.NewcomerMaterials(c, c, 0, rng)
+				kits[c] = append(kits[c], newcomerKit{items, queries, counts})
+			}
+		}
+		return kits
+	}
+	largeRound := func(sys *experiments.System, eng *core.Engine, runner *protocol.Runner) func(b *testing.B) {
+		live := liveSlots(eng)
+		catOf := make([]int, eng.NumSlots())
+		for _, pid := range live {
+			catOf[pid] = pid % lp.Categories // Build assigns category i%C in slot order
+		}
+		rng := stats.NewRNG(11)
+		kits := newKits(sys, rng)
+		kitSeq := 0
+		round := lp.MaxRounds
+		churn := func() {
+			for k := 0; k < 4; k++ {
+				j := rng.Intn(len(live))
+				victim := live[j]
+				cat := catOf[victim]
+				to := eng.Config().ClusterOf(victim)
+				eng.RemovePeer(victim)
+				kit := kits[cat][kitSeq%kitsPerCat]
+				kitSeq++
+				pr := peer.New(-1)
+				pr.SetItems(kit.items)
+				pid := eng.AddPeer(pr, kit.queries, kit.counts, to)
+				live[j] = pid
+				for len(catOf) <= pid {
+					catOf = append(catOf, 0)
+				}
+				catOf[pid] = cat
+			}
+		}
+		// Warm the slot free list, index rebuilds and runner scratch so
+		// the first timed iteration isn't a one-off cold outlier (cold
+		// churn is ~100ms; at b.N=1 it would be the whole estimate).
+		for i := 0; i < 2; i++ {
+			churn()
+			round++
+			runner.RunRound(round)
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The churn is the workload's setup, not the measured
+				// path: time (and count allocations for) the round only.
+				b.StopTimer()
+				churn()
+				b.StartTimer()
+				round++
+				runner.RunRound(round)
+			}
+		}
+	}
+	lsys, leng, lrunner := buildLarge(false)
+	recordSized("ProtocolRoundLarge", lp.Peers, 1, largeRound(lsys, leng, lrunner))
+	xsys, xeng, xrunner := buildLarge(true)
+	recordSized("ProtocolRoundLargeExact", lp.Peers, 1, largeRound(xsys, xeng, xrunner))
+	// Re-converge the pruned large system after its churn, then step
+	// quiescent periods — the daemon's steady-state maintenance tick at
+	// scale.
+	if rpt := lrunner.Run(); !rpt.Converged {
+		fmt.Fprintln(os.Stderr, "bench: large system did not re-converge; steady-state numbers would lie")
+		os.Exit(1)
+	}
+	for i := 0; i < 2; i++ {
+		per := lrunner.Begin()
+		for !per.Step(8) {
+		}
+	}
+	recordSized("ReformStepLarge", lp.Peers, 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			per := lrunner.Begin()
 			for !per.Step(8) {
 			}
 		}

@@ -163,6 +163,19 @@ type Engine struct {
 	// queries (see compact.go).
 	demSpare [][]int32
 
+	// Pruned-Decide state (see prune.go): a global mutation clock,
+	// per-cluster and per-query-row last-change stamps, a bump-all
+	// epoch for wholesale rewrites, the per-peer shortlist/decision
+	// caches, and the cached minimum non-empty cluster size behind
+	// the shortlist's admissible outside bound.
+	aggClock   uint64
+	aggVersion []uint64
+	rowVersion []uint64
+	pruneEpoch uint64
+	prune      []peerPrune
+	minSize    int
+	minSizeVer int
+
 	wlVersion     int
 	wlCompactions int
 	cfgVersion    int
@@ -378,6 +391,9 @@ func (e *Engine) Rebuild() {
 		}
 	}
 
+	e.initPruneState()
+	e.minSize, e.minSizeVer = 0, -1
+
 	e.wlVersion = e.wl.Version()
 	e.wlCompactions = e.wl.Compactions()
 	e.cfgVersion = e.cfg.MembershipVersion()
@@ -421,6 +437,20 @@ func (e *Engine) Move(p int, to cluster.CID) cluster.CID {
 	fo, t := int(from), int(to)
 	pw := e.peerWl[p]
 	pr := e.peerRes[p]
+
+	// Dirty-tracking: both endpoint clusters change (size plus their
+	// aggregate columns), and exactly the rows of p's demand and
+	// results change.
+	e.aggClock++
+	clk := e.aggClock
+	e.aggVersion[fo] = clk
+	e.aggVersion[t] = clk
+	for i := range pw {
+		e.rowVersion[pw[i].qid] = clk
+	}
+	for i := range pr {
+		e.rowVersion[pr[i].qid] = clk
+	}
 
 	// The recall sums change exactly at the (q, from/to) slots touched
 	// by p's demand (peerWl) or p's results (peerRes). Subtract the old
@@ -510,6 +540,8 @@ func (e *Engine) SetAlpha(a float64) {
 		panic("core: negative alpha")
 	}
 	e.alpha = a
+	// Every membership term changes; invalidate all pruning caches.
+	e.bumpAll()
 }
 
 // Theta returns the cluster participation cost function.

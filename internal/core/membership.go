@@ -129,6 +129,7 @@ func (e *Engine) growRows() {
 	e.demandTot = padFloats(e.demandTot, nq)
 	e.ownScratch = padFloats(e.ownScratch, nq)
 	e.qMark = padMarks(e.qMark, nq)
+	e.rowVersion = padMarks(e.rowVersion, nq)
 	flat := nq * e.stride
 	e.clusterRes = padFloats(e.clusterRes, flat)
 	e.clusterDemand = padFloats(e.clusterDemand, flat)
@@ -181,6 +182,7 @@ func (e *Engine) addSlot() int {
 	e.peerW = append(e.peerW, 0)
 	e.peerOwnW = append(e.peerOwnW, 0)
 	e.slotGen = append(e.slotGen, 0)
+	e.prune = append(e.prune, peerPrune{})
 	e.n++
 
 	cmax := e.cfg.Cmax()
@@ -191,6 +193,9 @@ func (e *Engine) addSlot() int {
 		e.demandW = restride(e.demandW, e.nq, e.stride, ns)
 		e.accScratch = make([]float64, ns)
 		e.cidMark = make([]uint64, ns)
+		// padMarks preserves the recorded cluster versions; the fresh
+		// tail slots are empty clusters whose zero stamp is correct.
+		e.aggVersion = padMarks(e.aggVersion, ns)
 		e.stride = ns
 	}
 	e.cmax = cmax
@@ -339,6 +344,12 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 	}
 	e.slotGen[pid]++
 
+	// Dirty-tracking: one clock tick covers the whole join; every row
+	// the joiner's results or demand touch is stamped below as the
+	// phases visit it, and the target cluster after placement.
+	e.aggClock++
+	clk := e.aggClock
+
 	// Phase 1: intern the joiner's queries (an allocation-free lookup
 	// on the churn steady state, where newcomers re-issue known
 	// queries). A genuinely new query gets a fresh row (grown in
@@ -358,6 +369,10 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 		e.qidScratch = append(e.qidScratch, qid)
 		e.growRows()
 		e.indexNewQueries()
+		// A fresh row starts at stamp 0, which would look unchanged to
+		// caches recorded before it existed; the supporters discovered
+		// below gain result entries for it, so stamp it now.
+		e.rowVersion[qid] = clk
 		for _, sp := range e.peersByAttr[q.IDs()[0]] {
 			res := e.peers[sp].ResultCount(q)
 			if res == 0 {
@@ -389,6 +404,7 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 		e.membSumRaw += e.theta.F(1)
 	}
 	e.cfg.Place(pid, to)
+	e.aggVersion[to] = clk
 	e.cidScratch = e.cfg.AppendNonEmpty(e.cidScratch[:0])
 	cids := e.cidScratch
 
@@ -418,6 +434,7 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 		qid := prl[i].qid
 		q := int(qid)
 		r := prl[i].res
+		e.rowVersion[q] = clk
 		oldInv := e.invTot[q]
 		e.rowRecallTerms(q, cids, oldInv, -1)
 		e.totals[q] += r
@@ -448,6 +465,7 @@ func (e *Engine) AddPeer(pr *peer.Peer, queries []attr.Set, counts []int, to clu
 	for _, en := range e.wl.Peer(pid) {
 		q := int(en.Q)
 		cnt := float64(en.Count)
+		e.rowVersion[q] = clk
 		e.demandTot[q] += cnt
 		e.demanders[q] = append(e.demanders[q], int32(pid))
 		inv := e.invTot[q]
@@ -514,11 +532,19 @@ func (e *Engine) RemovePeer(pid int) {
 	e.cidScratch = e.cfg.AppendNonEmpty(e.cidScratch[:0])
 	cids := e.cidScratch
 
+	// Dirty-tracking: one tick covers the leave; the rows of the
+	// leaver's demand and results are stamped as the phases walk
+	// them, and the vacated cluster after unplacement.
+	e.aggClock++
+	clk := e.aggClock
+	e.aggVersion[from] = clk
+
 	// Phase 1: withdraw the leaver's demand.
 	tot := float64(e.wl.PeerTotal(pid))
 	for _, en := range e.wl.Peer(pid) {
 		q := int(en.Q)
 		cnt := float64(en.Count)
+		e.rowVersion[q] = clk
 		e.demandTot[q] -= cnt
 		e.demanders[q] = removeInt32(e.demanders[q], int32(pid))
 		inv := e.invTot[q]
@@ -550,6 +576,7 @@ func (e *Engine) RemovePeer(pid int) {
 		qid := e.peerRes[pid][i].qid
 		q := int(qid)
 		r := e.peerRes[pid][i].res
+		e.rowVersion[q] = clk
 		oldInv := e.invTot[q]
 		e.rowRecallTerms(q, cids, oldInv, -1)
 		e.totals[q] -= r

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/peer"
+)
+
+// pruneChurn drives one random engine mutation, covering every
+// version-bump site the pruning machinery depends on: Move (cluster +
+// row bumps), AddPeer/RemovePeer (slot generations, fresh-row stamps,
+// answerability flips), Compact (query remap epoch bump), SetAlpha and
+// Rebuild (wholesale epoch bumps).
+func pruneChurn(t *testing.T, eng *Engine, rng *rand.Rand, novel *attr.ID) {
+	t.Helper()
+	live := make([]int, 0, eng.NumSlots())
+	for p := 0; p < eng.NumSlots(); p++ {
+		if eng.IsLive(p) {
+			live = append(live, p)
+		}
+	}
+	switch rng.IntN(8) {
+	case 0, 1, 2: // moves dominate real rounds
+		p := live[rng.IntN(len(live))]
+		eng.Move(p, cluster.CID(rng.IntN(eng.Config().Cmax())))
+	case 3: // join, sometimes with a novel query (fresh QID row)
+		pr := peer.New(-1)
+		pr.SetItems([]attr.Set{attr.NewSet(attr.ID(rng.IntN(5)))})
+		q := attr.NewSet(attr.ID(rng.IntN(5)))
+		if rng.IntN(2) == 0 {
+			*novel++
+			q = attr.NewSet(*novel)
+		}
+		eng.AddPeer(pr, []attr.Set{q}, []int{1 + rng.IntN(3)}, cluster.None)
+	case 4: // leave
+		if len(live) > 2 {
+			eng.RemovePeer(live[rng.IntN(len(live))])
+		}
+	case 5:
+		eng.Compact(0)
+	case 6:
+		eng.SetAlpha(0.5 + rng.Float64())
+	case 7:
+		eng.Rebuild()
+	}
+}
+
+// TestPrunedEvaluationsMatchExact is the scan-level oracle: under
+// randomized mutation interleavings, a pruned evaluator must produce
+// bit-identical MoveEval and ContributionEval results to an exhaustive
+// one — whether the probe answers from the shortlist, falls back, or
+// the cache is cold. Each state is evaluated twice so the second pass
+// exercises the warm probe/replay paths.
+func TestPrunedEvaluationsMatchExact(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		eng := evalSystem(t, 4, 5)
+		pruned := eng.NewEvaluator()
+		pruned.SetPruned(true)
+		exact := eng.NewEvaluator()
+		novel := attr.ID(9000 + 1000*seed)
+		check := func(step int) {
+			for pass := 0; pass < 2; pass++ {
+				for p := 0; p < eng.NumSlots(); p++ {
+					if !eng.IsLive(p) {
+						continue
+					}
+					if got, want := pruned.EvaluateMoves(p), exact.EvaluateMoves(p); got != want {
+						t.Fatalf("seed %d step %d pass %d peer %d: pruned EvaluateMoves %+v, exact %+v",
+							seed, step, pass, p, got, want)
+					}
+					if got, want := pruned.EvaluateContribution(p), exact.EvaluateContribution(p); got != want {
+						t.Fatalf("seed %d step %d pass %d peer %d: pruned EvaluateContribution %+v, exact %+v",
+							seed, step, pass, p, got, want)
+					}
+				}
+			}
+		}
+		check(-1)
+		for step := 0; step < 60; step++ {
+			pruneChurn(t, eng, rng, &novel)
+			check(step)
+		}
+		ss := pruned.TakeScanStats()
+		if ss.Evaluated != ss.Replayed+ss.Shortlist+ss.Fallback+ss.Full {
+			t.Fatalf("seed %d: scan stats don't add up: %+v", seed, ss)
+		}
+		if ss.Shortlist == 0 {
+			t.Fatalf("seed %d: shortlist never hit — pruning not exercised: %+v", seed, ss)
+		}
+	}
+}
+
+// TestPrunedDecideEvalMatchesExact is the decision-level oracle: every
+// strategy's DecideEval through a pruned evaluator — including the
+// decision-replay cache — must equal the exhaustive decision, across
+// mutations, baseline changes and allowNew flips.
+func TestPrunedDecideEvalMatchesExact(t *testing.T) {
+	strategies := []EvalStrategy{NewSelfish(), NewAltruistic(), NewHybrid(0.5)}
+	for _, s := range strategies {
+		for seed := uint64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewPCG(seed, 11))
+			eng := evalSystem(t, 4, 6)
+			pruned := eng.NewEvaluator()
+			pruned.SetPruned(true)
+			exact := eng.NewEvaluator()
+			novel := attr.ID(8000 + 1000*seed)
+
+			baseline := make(map[int]float64)
+			snapshot := func() {
+				clear(baseline)
+				cfg := eng.Config()
+				for p := 0; p < eng.NumSlots(); p++ {
+					if eng.IsLive(p) {
+						baseline[p] = eng.PeerCost(p, cfg.ClusterOf(p))
+					}
+				}
+			}
+			snapshot()
+			for step := 0; step < 50; step++ {
+				pruneChurn(t, eng, rng, &novel)
+				if step%17 == 0 {
+					snapshot() // new period: baselines move, caches must re-key
+				}
+				allowNew := step%2 == 0
+				for pass := 0; pass < 2; pass++ {
+					for p := 0; p < eng.NumSlots(); p++ {
+						if !eng.IsLive(p) {
+							continue
+						}
+						bl, ok := baseline[p]
+						if !ok {
+							bl = math.NaN()
+						}
+						got := s.DecideEval(pruned, p, bl, allowNew)
+						want := s.DecideEval(exact, p, bl, allowNew)
+						if got != want {
+							t.Fatalf("%s seed %d step %d pass %d peer %d: pruned %+v, exact %+v",
+								s.Name(), seed, step, pass, p, got, want)
+						}
+					}
+				}
+			}
+			ss := pruned.TakeScanStats()
+			if ss.Replayed == 0 {
+				t.Fatalf("%s seed %d: decision replay never hit: %+v", s.Name(), seed, ss)
+			}
+		}
+	}
+}
+
+// TestPrunedDecideAllocFree pins the pruned hot path allocation-free in
+// both regimes: the quiescent replay loop and the re-scan after a
+// mutation (shortlist recording included).
+func TestPrunedDecideAllocFree(t *testing.T) {
+	eng := evalSystem(t, 4, 6)
+	ev := eng.NewEvaluator()
+	ev.SetPruned(true)
+	s := NewSelfish()
+	decideAll := func() {
+		for p := 0; p < eng.NumSlots(); p++ {
+			if eng.IsLive(p) {
+				s.DecideEval(ev, p, math.NaN(), true)
+			}
+		}
+	}
+	decideAll() // warm scratch, shortlists and decision caches
+	if avg := testing.AllocsPerRun(100, decideAll); avg != 0 {
+		t.Fatalf("quiescent pruned decide allocates %v allocs/op, want 0", avg)
+	}
+	cfg := eng.Config()
+	home := cfg.ClusterOf(0)
+	if avg := testing.AllocsPerRun(100, func() {
+		eng.Move(0, cluster.CID((int(home)+1)%cfg.Cmax()))
+		eng.Move(0, home)
+		decideAll()
+	}); avg != 0 {
+		t.Fatalf("post-mutation pruned decide allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -75,25 +75,28 @@ func (s *Selfish) Decide(e *Engine, p int, baseline float64, allowNew bool) Deci
 
 // DecideEval implements EvalStrategy.
 func (s *Selfish) DecideEval(evl *Evaluator, p int, baseline float64, allowNew bool) Decision {
+	if d, ok := evl.replayDecision(s, decSelfish, s.DriftThreshold, p, baseline, allowNew); ok {
+		return d
+	}
 	ev := evl.EvaluateMoves(p)
 	d := Decision{Peer: p, From: ev.Cur}
-	if ev.Best != ev.Cur && ev.BestCost < ev.CurCost {
+	switch {
+	case ev.Best != ev.Cur && ev.BestCost < ev.CurCost:
 		d.To = ev.Best
 		d.Gain = ev.CurCost - ev.BestCost
 		d.Move = true
-		return d
-	}
 	// No existing cluster improves the cost. Found a new cluster only
 	// if cost drifted up significantly since the period baseline and
 	// being alone actually helps (§3.2).
-	if allowNew && !math.IsNaN(baseline) &&
+	case allowNew && !math.IsNaN(baseline) &&
 		ev.CurCost-baseline > s.DriftThreshold &&
-		ev.AloneCost < ev.CurCost && evl.e.cfg.Size(ev.Cur) > 1 {
+		ev.AloneCost < ev.CurCost && evl.e.cfg.Size(ev.Cur) > 1:
 		d.Gain = ev.CurCost - ev.AloneCost
 		d.Move = true
 		d.NewCluster = true
 		d.To = cluster.None
 	}
+	evl.rememberDecision(s, decSelfish, s.DriftThreshold, p, baseline, allowNew, ev.Best, ev.BestCost, 0, d)
 	return d
 }
 
@@ -117,18 +120,20 @@ func (a *Altruistic) Decide(e *Engine, p int, baseline float64, allowNew bool) D
 
 // DecideEval implements EvalStrategy.
 func (a *Altruistic) DecideEval(evl *Evaluator, p int, _ float64, _ bool) Decision {
+	if d, ok := evl.replayDecision(a, decAltruistic, 0, p, 0, false); ok {
+		return d
+	}
 	ev := evl.EvaluateContribution(p)
 	d := Decision{Peer: p, From: ev.Cur}
-	if ev.Best == ev.Cur {
-		return d
+	if ev.Best != ev.Cur {
+		gain := ev.BestContribution - ev.CurContribution - evl.DeltaMembership(ev.Best)
+		if gain > 0 {
+			d.To = ev.Best
+			d.Gain = gain
+			d.Move = true
+		}
 	}
-	gain := ev.BestContribution - ev.CurContribution - evl.DeltaMembership(ev.Best)
-	if gain <= 0 {
-		return d
-	}
-	d.To = ev.Best
-	d.Gain = gain
-	d.Move = true
+	evl.rememberDecision(a, decAltruistic, 0, p, 0, false, ev.Best, ev.BestContribution, evl.demAux, d)
 	return d
 }
 
@@ -163,6 +168,11 @@ func (h *Hybrid) Decide(e *Engine, p int, baseline float64, allowNew bool) Decis
 // cluster by λ·pgain + (1−λ)·clgain and requests the best
 // positive-score move.
 func (h *Hybrid) DecideEval(evl *Evaluator, p int, _ float64, _ bool) Decision {
+	if d, ok := evl.replayDecision(h, decHybrid, h.Lambda, p, 0, false); ok {
+		return d
+	}
+	evl.stats.Evaluated++
+	evl.stats.Full++
 	e := evl.e
 	cur := e.cfg.ClusterOf(p)
 	curCost := evl.PeerCost(p, cur)
@@ -189,5 +199,6 @@ func (h *Hybrid) DecideEval(evl *Evaluator, p int, _ float64, _ bool) Decision {
 		d.Gain = bestScore
 		d.Move = true
 	}
+	evl.rememberDecision(h, decHybrid, h.Lambda, p, 0, false, bestC, bestScore, 0, d)
 	return d
 }

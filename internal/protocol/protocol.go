@@ -101,6 +101,14 @@ type Options struct {
 	// core.EvalStrategy (the built-in strategies do) and quietly fall
 	// back to serial otherwise.
 	Workers int
+	// ExactDecide disables the sublinear phase-1 machinery — dirty
+	// tracking, top-k candidate shortlists, decision replay — and scans
+	// every peer against every non-empty cluster exhaustively, as the
+	// paper specifies the protocol. The pruned path is byte-identical
+	// by construction (strict bounds, ties fall back to the full scan),
+	// so this is an escape hatch and the oracle the property suite
+	// compares against, not a correctness knob.
+	ExactDecide bool
 }
 
 // DefaultOptions mirror the paper's experimental setting.
@@ -148,6 +156,12 @@ type Runner struct {
 	bestMsgs []int
 	evals    []*core.Evaluator
 
+	// scanStats accumulates the evaluators' phase-1 outcome counters
+	// over the current period (reset by BeginPeriod). They are
+	// observability only — never part of a Report, so pruned and exact
+	// runs stay comparable by DeepEqual.
+	scanStats core.ScanStats
+
 	// period is the most recent Period (see period.go). Begin recycles
 	// its storage once it finished; a Begin that supersedes an
 	// unfinished period leaves it frozen and allocates fresh storage.
@@ -186,6 +200,7 @@ func (r *Runner) Engine() *core.Engine { return r.eng }
 func (r *Runner) BeginPeriod() {
 	clear(r.joinLocked)
 	clear(r.leaveLocked)
+	r.scanStats = core.ScanStats{}
 	if r.period != nil {
 		r.period.phase = phaseDone
 	}
@@ -219,11 +234,19 @@ func (r *Runner) growLocks() {
 }
 
 // ensureEvals sizes the private-evaluator pool for w decide workers.
+// Runner evaluators run pruned unless Options.ExactDecide.
 func (r *Runner) ensureEvals(w int) {
 	for len(r.evals) < w {
-		r.evals = append(r.evals, r.eng.NewEvaluator())
+		ev := r.eng.NewEvaluator()
+		ev.SetPruned(!r.opts.ExactDecide)
+		r.evals = append(r.evals, ev)
 	}
 }
+
+// ScanStats returns the phase-1 evaluation-outcome counters accumulated
+// since the last BeginPeriod (equivalently, since the current period
+// began).
+func (r *Runner) ScanStats() core.ScanStats { return r.scanStats }
 
 // decideOne evaluates peer p under the period baseline rules, through
 // a private evaluator when the strategy supports it (es non-nil) and
@@ -279,6 +302,12 @@ func (r *Runner) decideBatch(clusters []cluster.CID) {
 	r.bestMsgs = r.bestMsgs[:n]
 
 	es, _ := r.strategy.(core.EvalStrategy)
+	if es != nil && !r.opts.ExactDecide {
+		// Refresh the serial pruning state (minimum cluster size backing
+		// the shortlist bound) before evaluators — possibly concurrent —
+		// read it.
+		r.eng.PrepareDecide()
+	}
 	w := r.opts.Workers
 	if w > n {
 		w = n
@@ -286,10 +315,14 @@ func (r *Runner) decideBatch(clusters []cluster.CID) {
 	if es == nil || w <= 1 {
 		var ev *core.Evaluator
 		if es != nil {
-			ev = r.eng.Eval()
+			r.ensureEvals(1)
+			ev = r.evals[0]
 		}
 		for i, c := range clusters {
 			r.bests[i], r.bestMsgs[i] = r.decideCluster(es, ev, c)
+		}
+		if ev != nil {
+			r.scanStats.Add(ev.TakeScanStats())
 		}
 		return
 	}
@@ -310,6 +343,9 @@ func (r *Runner) decideBatch(clusters []cluster.CID) {
 		}(r.evals[g])
 	}
 	wg.Wait()
+	for _, ev := range r.evals[:w] {
+		r.scanStats.Add(ev.TakeScanStats())
+	}
 }
 
 // sortRequests orders requests for the grant phase: decreasing gain,

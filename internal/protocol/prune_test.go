@@ -1,0 +1,226 @@
+package protocol
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+)
+
+// twinSystems builds two byte-identical engines and runners, one on
+// the default pruned phase-1 path and one forced exhaustive through
+// Options.ExactDecide. Because engine mutations are deterministic in
+// their arguments (slot reuse included), replaying the same op
+// schedule on both keeps them in lockstep — unless pruning changes a
+// decision, which is exactly what the callers assert never happens.
+func twinSystems(t testing.TB, groups, perGroup int, strat func() core.Strategy, w int) (*core.Engine, *core.Engine, *Runner, *Runner) {
+	engP := grouped(t, groups, perGroup)
+	engX := grouped(t, groups, perGroup)
+	opts := Options{Epsilon: 0.001, MaxRounds: 60, AllowNewClusters: true, Workers: w}
+	rp := NewRunner(engP, strat(), opts)
+	opts.ExactDecide = true
+	rx := NewRunner(engX, strat(), opts)
+	return engP, engX, rp, rx
+}
+
+// twinChurn applies one random membership/workload mutation to both
+// engines with identical arguments. Argument choices derive only from
+// rng and engP's state; lockstep (checked by the callers) guarantees
+// engX agrees on liveness, so the op is valid on both.
+func twinChurn(engP, engX *core.Engine, rng *rand.Rand, novel *attr.ID) {
+	live := make([]int, 0, engP.NumSlots())
+	for pid := 0; pid < engP.NumSlots(); pid++ {
+		if engP.IsLive(pid) {
+			live = append(live, pid)
+		}
+	}
+	switch rng.IntN(5) {
+	case 0: // join, half the time with a never-seen query (fresh QID row)
+		q := attr.NewSet(attr.ID(rng.IntN(4)))
+		if rng.IntN(2) == 0 {
+			*novel++
+			q = attr.NewSet(*novel)
+		}
+		items := attr.NewSet(attr.ID(rng.IntN(4)))
+		cnt := 1 + rng.IntN(3)
+		for _, eng := range []*core.Engine{engP, engX} {
+			pr := peer.New(-1)
+			pr.SetItems([]attr.Set{items})
+			eng.AddPeer(pr, []attr.Set{q}, []int{cnt}, cluster.None)
+		}
+	case 1: // leave
+		if len(live) > 2 {
+			pid := live[rng.IntN(len(live))]
+			engP.RemovePeer(pid)
+			engX.RemovePeer(pid)
+		}
+	case 2: // out-of-band move (a version-bump site rounds never take)
+		pid := live[rng.IntN(len(live))]
+		to := cluster.CID(rng.IntN(engP.Config().Cmax()))
+		engP.Move(pid, to)
+		engX.Move(pid, to)
+	case 3: // workload compaction (QID remap, prune-epoch bump)
+		engP.Compact(0)
+		engX.Compact(0)
+	case 4: // quiet step
+	}
+}
+
+// requireLockstep fails unless the two engines hold bit-identical
+// configurations and costs.
+func requireLockstep(t *testing.T, engP, engX *core.Engine, stage string) {
+	t.Helper()
+	if engP.NumSlots() != engX.NumSlots() {
+		t.Fatalf("%s: slot counts diverged: pruned %d, exact %d", stage, engP.NumSlots(), engX.NumSlots())
+	}
+	cfgP, cfgX := engP.Config(), engX.Config()
+	for pid := 0; pid < engP.NumSlots(); pid++ {
+		if engP.IsLive(pid) != engX.IsLive(pid) {
+			t.Fatalf("%s: liveness diverged at peer %d", stage, pid)
+		}
+		if engP.IsLive(pid) && cfgP.ClusterOf(pid) != cfgX.ClusterOf(pid) {
+			t.Fatalf("%s: peer %d in cluster %d pruned, %d exact",
+				stage, pid, cfgP.ClusterOf(pid), cfgX.ClusterOf(pid))
+		}
+	}
+	if pb, xb := math.Float64bits(engP.SCostNormalized()), math.Float64bits(engX.SCostNormalized()); pb != xb {
+		t.Fatalf("%s: SCost bits diverged: pruned %x, exact %x", stage, pb, xb)
+	}
+}
+
+// TestPrunedDecideMatchesExact is the end-to-end acceptance oracle for
+// the sublinear phase-1: the default pruned Runner and an ExactDecide
+// Runner, driven through identical randomized join/leave/move/compact/
+// reform interleavings, must produce byte-identical period reports and
+// final configurations — for every strategy, step budget and worker
+// count. Run under -race this also re-checks the frozen-engine
+// concurrent-read contract of the pruned per-worker evaluators.
+func TestPrunedDecideMatchesExact(t *testing.T) {
+	strategies := []struct {
+		name string
+		mk   func() core.Strategy
+	}{
+		{"selfish", func() core.Strategy { return core.NewSelfish() }},
+		{"altruistic", func() core.Strategy { return core.NewAltruistic() }},
+		{"hybrid", func() core.Strategy { return core.NewHybrid(0.5) }},
+	}
+	budgets := []int{1, 3, 0} // 0 = whole period in one step
+	workers := []int{1, 2, runtime.GOMAXPROCS(0) + 1}
+	for _, st := range strategies {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, budget := range budgets {
+				for _, w := range workers {
+					rng := rand.New(rand.NewPCG(seed, 0xd1)) // one schedule per (seed,budget,w)
+					engP, engX, rp, rx := twinSystems(t, 4, 5, st.mk, w)
+					novel := attr.ID(6000 + 100*seed)
+					for period := 0; period < 3; period++ {
+						pp, px := rp.Begin(), rx.Begin()
+						for {
+							doneP := pp.Step(budget)
+							doneX := px.Step(budget)
+							if doneP != doneX {
+								t.Fatalf("%s seed %d budget %d workers %d period %d: pruned done=%v, exact done=%v",
+									st.name, seed, budget, w, period, doneP, doneX)
+							}
+							if doneP {
+								break
+							}
+							twinChurn(engP, engX, rng, &novel)
+						}
+						if got, want := pp.Report(), px.Report(); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s seed %d budget %d workers %d period %d: reports diverged:\npruned %+v\nexact  %+v",
+								st.name, seed, budget, w, period, got, want)
+						}
+						requireLockstep(t, engP, engX, st.name)
+					}
+					ssP, ssX := rp.ScanStats(), rx.ScanStats()
+					if ssP.Evaluated != ssP.Replayed+ssP.Shortlist+ssP.Fallback+ssP.Full {
+						t.Fatalf("%s: pruned scan stats don't add up: %+v", st.name, ssP)
+					}
+					if ssX.Replayed != 0 || ssX.Shortlist != 0 {
+						t.Fatalf("%s: ExactDecide runner took pruned paths: %+v", st.name, ssX)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPrunedDecide fuzzes the version-bump surface: an arbitrary byte
+// string decodes to an interleaving of joins, leaves, moves,
+// compactions, reformulation rounds and period boundaries, applied to
+// a pruned and an exhaustive twin. Any divergence — in a round report
+// or in the final configuration — means a dirty-tracking bump was
+// missed or a shortlist bound was inadmissible.
+func FuzzPrunedDecide(f *testing.F) {
+	f.Add([]byte{0x04, 0x00, 0x04, 0x01})                                                 // two plain rounds
+	f.Add([]byte{0x00, 0x03, 0x04, 0x00, 0x01, 0x00, 0x04, 0x01})                         // join, round, leave, round
+	f.Add([]byte{0x02, 0x07, 0x03, 0x00, 0x04, 0x02, 0x05, 0x00})                         // move, compact, round, new period
+	f.Add([]byte{0x00, 0x01, 0x00, 0x02, 0x02, 0x09, 0x04, 0x00, 0x04, 0x01, 0x04, 0x02}) // churn burst then quiescent rounds (replay path)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 128 {
+			ops = ops[:128]
+		}
+		engP := grouped(t, 3, 4)
+		engX := grouped(t, 3, 4)
+		opts := Options{Epsilon: 0.001, MaxRounds: 40, AllowNewClusters: true, Workers: 2}
+		rp := NewRunner(engP, core.NewSelfish(), opts)
+		opts.ExactDecide = true
+		rx := NewRunner(engX, core.NewSelfish(), opts)
+		novel := attr.ID(7000)
+		round := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], int(ops[i+1])
+			live := make([]int, 0, engP.NumSlots())
+			for pid := 0; pid < engP.NumSlots(); pid++ {
+				if engP.IsLive(pid) {
+					live = append(live, pid)
+				}
+			}
+			switch op % 6 {
+			case 0: // join
+				q := attr.NewSet(attr.ID(arg % 3))
+				if arg&1 == 1 {
+					novel++
+					q = attr.NewSet(novel)
+				}
+				for _, eng := range []*core.Engine{engP, engX} {
+					pr := peer.New(-1)
+					pr.SetItems([]attr.Set{attr.NewSet(attr.ID(arg % 3))})
+					eng.AddPeer(pr, []attr.Set{q}, []int{1 + arg%3}, cluster.None)
+				}
+			case 1: // leave
+				if len(live) > 2 {
+					pid := live[arg%len(live)]
+					engP.RemovePeer(pid)
+					engX.RemovePeer(pid)
+				}
+			case 2: // move
+				pid := live[arg%len(live)]
+				to := cluster.CID(arg % engP.Config().Cmax())
+				engP.Move(pid, to)
+				engX.Move(pid, to)
+			case 3: // compact
+				engP.Compact(0)
+				engX.Compact(0)
+			case 4: // reformulation round
+				round++
+				rrP := rp.RunRound(round)
+				rrX := rx.RunRound(round)
+				if !reflect.DeepEqual(rrP, rrX) {
+					t.Fatalf("op %d: round reports diverged:\npruned %+v\nexact  %+v", i, rrP, rrX)
+				}
+			case 5: // period boundary: fresh baselines
+				rp.BeginPeriod()
+				rx.BeginPeriod()
+			}
+		}
+		requireLockstep(t, engP, engX, "fuzz")
+	})
+}

@@ -116,6 +116,12 @@ type Config struct {
 	// 0 means one worker per CPU; 1 scans serially. Any value produces
 	// byte-identical maintenance outcomes.
 	ReformWorkers int
+	// ExactDecide disables the sublinear phase-1 pruning
+	// (protocol.Options.ExactDecide): every maintenance scan then
+	// evaluates every peer exhaustively. The pruned default is
+	// byte-identical; this is an escape hatch for debugging and
+	// cross-checking.
+	ExactDecide bool
 	// SnapshotPath, when set, is where periodic and shutdown snapshots
 	// are written.
 	SnapshotPath string
@@ -203,8 +209,16 @@ type Server struct {
 	reforms atomic.Int64 // maintenance periods run
 	rounds  atomic.Int64 // reformulation rounds executed
 	moves   atomic.Int64 // granted relocations
-	joins   atomic.Int64
-	leaves  atomic.Int64
+	// Cumulative phase-1 evaluation outcomes over finished maintenance
+	// periods (see core.ScanStats); the in-flight period's counters are
+	// exposed live through maintProgress.
+	scanned       atomic.Int64
+	skippedClean  atomic.Int64
+	shortlistHits atomic.Int64
+	scanFallbacks atomic.Int64
+	fullScans     atomic.Int64
+	joins         atomic.Int64
+	leaves        atomic.Int64
 	// compactions is the daemon's compaction generation (carried
 	// across snapshot restores); compacted counts retired queries.
 	compactions atomic.Int64
@@ -342,6 +356,12 @@ func (s *Server) Reform() protocol.Report {
 		pr := per.Progress()
 		s.maintProgress.Store(&pr)
 		if done {
+			ss := s.runner.ScanStats()
+			s.scanned.Add(int64(ss.Evaluated))
+			s.skippedClean.Add(int64(ss.Replayed))
+			s.shortlistHits.Add(int64(ss.Shortlist))
+			s.scanFallbacks.Add(int64(ss.Fallback))
+			s.fullScans.Add(int64(ss.Full))
 			s.maybeCompactLocked()
 			s.publishLocked()
 			unlock()
@@ -699,9 +719,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // snapshot after every step.
 func (s *Server) maintenanceStats() map[string]any {
 	out := map[string]any{
-		"active":      false,
-		"step_budget": s.cfg.StepBudget,
-		"workers":     s.cfg.ReformWorkers,
+		"active":       false,
+		"step_budget":  s.cfg.StepBudget,
+		"workers":      s.cfg.ReformWorkers,
+		"exact_decide": s.cfg.ExactDecide,
+		// Cumulative phase-1 scan outcomes over finished periods.
+		"scanned":        s.scanned.Load(),
+		"skipped_clean":  s.skippedClean.Load(),
+		"shortlist_hits": s.shortlistHits.Load(),
+		"fallbacks":      s.scanFallbacks.Load(),
+		"full_scans":     s.fullScans.Load(),
 	}
 	if pr := s.maintProgress.Load(); pr != nil {
 		out["active"] = true
@@ -712,6 +739,12 @@ func (s *Server) maintenanceStats() map[string]any {
 		out["requests"] = pr.Requests
 		out["granted"] = pr.Granted
 		out["steps"] = pr.Steps
+		// The in-flight period's scan outcomes so far.
+		out["period_scanned"] = pr.Scanned
+		out["period_skipped_clean"] = pr.SkippedClean
+		out["period_shortlist_hits"] = pr.ShortlistHits
+		out["period_fallbacks"] = pr.Fallbacks
+		out["period_full_scans"] = pr.FullScans
 	}
 	return out
 }

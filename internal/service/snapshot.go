@@ -135,6 +135,7 @@ func (s *Server) newRunner() *protocol.Runner {
 		MaxRounds:        s.cfg.MaxRounds,
 		AllowNewClusters: true,
 		Workers:          s.cfg.ReformWorkers,
+		ExactDecide:      s.cfg.ExactDecide,
 	})
 }
 
