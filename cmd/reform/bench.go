@@ -10,13 +10,16 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/peer"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/stats"
+	"repro/internal/viewwire"
 	"repro/internal/workload"
 )
 
@@ -78,17 +81,18 @@ func sameRunnerClass(a, b benchReport) bool {
 // their wall-clock depends on CI core counts.
 var gatedBenchmarks = []string{
 	"EvaluateMoves", "EvaluateContribution", "PeerCost", "Move", "SCost", "AddRemovePeer",
-	"CompactCycle", "QueryServe", "QueryServeParallel",
+	"CompactCycle", "QueryServe", "QueryServeParallel", "RouterServe",
 	"ProtocolRound", "ProtocolRoundParallel", "ReformStep",
 	"ProtocolRoundLarge", "ProtocolRoundLargeExact", "ReformStepLarge",
 }
 
 // zeroAllocBenchmarks must report exactly 0 allocs/op in the fresh
 // run, independent of any baseline: the per-query read path is
-// allocation-free by contract (RouteScratch owns every buffer), as is
+// allocation-free by contract — on the daemon (RouteScratch owns
+// every buffer) and on a router replica (api.Scratch ditto) — as is
 // a quiescent stepped maintenance period (runner-recycled report and
 // scratch storage), and the gate holds them there.
-var zeroAllocBenchmarks = []string{"QueryServe", "QueryServeParallel", "ReformStep", "ReformStepLarge"}
+var zeroAllocBenchmarks = []string{"QueryServe", "QueryServeParallel", "RouterServe", "ReformStep", "ReformStepLarge"}
 
 // benchRegressionTolerance is the allowed ns/op growth factor.
 const benchRegressionTolerance = 1.25
@@ -241,6 +245,40 @@ func runBenchCommand(args []string) {
 				i++
 			}
 		})
+	})
+	// The router tier's per-query path: a replica synchronized from one
+	// full wire record answers raw term queries through the same shared
+	// code as the daemon (term resolution + Route + response assembly),
+	// allocation-free by the same contract.
+	vocab := sys.Gen.Vocab()
+	names := make([]string, vocab.Len())
+	for id := range names {
+		names[id] = vocab.Name(attr.ID(id))
+	}
+	rawQueries := make([][]string, len(queries))
+	for i, q := range queries {
+		rawQueries[i] = q.Names(vocab)
+	}
+	rt := router.New(router.Config{Upstream: "unused"})
+	rec, err := viewwire.Decode(viewwire.AppendFull(nil, 1, names, view.Export()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: RouterServe record:", err)
+		os.Exit(1)
+	}
+	if err := rt.ApplyRecord(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: RouterServe sync:", err)
+		os.Exit(1)
+	}
+	record("RouterServe", func(b *testing.B) {
+		b.ReportAllocs()
+		var sc api.Scratch
+		for _, q := range rawQueries {
+			rt.AnswerQuery(q, &sc)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.AnswerQuery(rawQueries[i%len(rawQueries)], &sc)
+		}
 	})
 	// The reformulation protocol's hot paths: one round serial, one
 	// round with the phase-1 decide scan fanned over all cores, and a

@@ -11,10 +11,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/router"
 	"repro/internal/service"
 	"repro/internal/stats"
 )
@@ -31,6 +33,14 @@ import (
 // maintenance periods (the stepped scheduler bounds a mutation's wait
 // to one step; tune it with -step-budget). Any failed request,
 // query or mutation, exits nonzero.
+//
+// With -router N the query load is served by N in-process stateless
+// router replicas following the daemon's /v1/view/watch feed instead
+// of by the daemon itself; -router-addr points at externally running
+// `reform route` replicas (comma-separated). -verify quiesces after
+// the load, waits for every replica to catch up to the daemon's
+// published sequence, and byte-compares router answers against the
+// authoritative engine's, exiting nonzero on any divergence.
 func runLoadtestCommand(args []string) {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "", "target daemon base URL (empty: start an in-process daemon)")
@@ -44,9 +54,20 @@ func runLoadtestCommand(args []string) {
 	maintain := fs.Duration("maintain", 0, "POST /reform on this interval during the load (0: off)")
 	churn := fs.Duration("churn", 0, "join+leave one peer on this interval during the load (0: off)")
 	stepBudget := fs.Int("step-budget", 0, "maintenance step budget of the in-process daemon (0: service default; negative: whole periods under one lock hold)")
+	routerN := fs.Int("router", 0, "serve the query load from this many in-process router replicas following the daemon (0: query the daemon directly)")
+	routerAddrs := fs.String("router-addr", "", "comma-separated base URLs of external `reform route` replicas to load instead of the daemon")
+	verify := fs.Bool("verify", false, "after the load, byte-compare quiesced router answers against the daemon's (needs -router or -router-addr)")
 	fs.Parse(args)
 	if *batch < 0 || *workers <= 0 {
 		fmt.Fprintln(os.Stderr, "loadtest: -batch must be >= 0 and -workers > 0")
+		os.Exit(2)
+	}
+	if *routerN > 0 && *routerAddrs != "" {
+		fmt.Fprintln(os.Stderr, "loadtest: -router and -router-addr are mutually exclusive")
+		os.Exit(2)
+	}
+	if *verify && *routerN == 0 && *routerAddrs == "" {
+		fmt.Fprintln(os.Stderr, "loadtest: -verify needs -router or -router-addr")
 		os.Exit(2)
 	}
 
@@ -76,23 +97,96 @@ func runLoadtestCommand(args []string) {
 					{"terms": []string{term(cat, rng.Intn(6))}, "count": 1 + rng.Intn(4)},
 				},
 			})
-			resp, err := client.Post(base+"/peers", "application/json", bytes.NewReader(body))
+			resp, err := client.Post(base+"/v1/peers", "application/json", bytes.NewReader(body))
 			if err != nil || resp.StatusCode != http.StatusCreated {
 				fmt.Fprintf(os.Stderr, "loadtest: seeding peer %d failed: %v\n", i, statusOf(resp, err))
 				os.Exit(1)
 			}
 			drain(resp)
 		}
-		post(client, base+"/reform")
+		post(client, base+"/v1/reform")
+	}
+
+	// Optional router tier: the query load targets the replicas while
+	// mutations keep hitting the authoritative daemon at base.
+	queryBases := []string{base}
+	var inproc []*router.Router
+	switch {
+	case *routerN > 0:
+		queryBases = nil
+		for i := 0; i < *routerN; i++ {
+			rt := router.New(router.Config{
+				Upstream:    base,
+				PollTimeout: 2 * time.Second,
+				RetryAfter:  50 * time.Millisecond,
+			})
+			rt.Start()
+			defer rt.Shutdown()
+			rts := httptest.NewServer(rt.Handler())
+			defer rts.Close()
+			inproc = append(inproc, rt)
+			queryBases = append(queryBases, rts.URL)
+		}
+	case *routerAddrs != "":
+		queryBases = nil
+		for _, a := range strings.Split(*routerAddrs, ",") {
+			if a = strings.TrimSuffix(strings.TrimSpace(a), "/"); a != "" {
+				queryBases = append(queryBases, a)
+			}
+		}
+		if len(queryBases) == 0 {
+			fmt.Fprintln(os.Stderr, "loadtest: -router-addr lists no usable URLs")
+			os.Exit(2)
+		}
+	}
+	usingRouters := *routerN > 0 || *routerAddrs != ""
+
+	// viewSeq reads a server's published/synchronized view sequence.
+	viewSeq := func(b string) uint64 {
+		st := fetchStats(client, b)
+		if st == nil {
+			return 0
+		}
+		f, _ := st["view_seq"].(float64)
+		return uint64(f)
+	}
+	// waitRoutersSynced blocks until every replica has caught up to the
+	// daemon's currently published sequence.
+	waitRoutersSynced := func(timeout time.Duration) bool {
+		target := viewSeq(base)
+		deadline := time.Now().Add(timeout)
+		for i, rt := range inproc {
+			if !rt.WaitSynced(target, time.Until(deadline)) {
+				fmt.Fprintf(os.Stderr, "loadtest: router %d stuck at seq %d, daemon at %d\n", i, rt.Seq(), target)
+				return false
+			}
+		}
+		if *routerAddrs != "" {
+			for _, qb := range queryBases {
+				for viewSeq(qb) < target {
+					if time.Now().After(deadline) {
+						fmt.Fprintf(os.Stderr, "loadtest: router %s stuck at seq %d, daemon at %d\n", qb, viewSeq(qb), target)
+						return false
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}
+		return true
+	}
+	if usingRouters && !waitRoutersSynced(10*time.Second) {
+		// The tier must be synchronized before the load begins: a
+		// cold-start 503 is a config problem, not a measurement.
+		os.Exit(1)
 	}
 
 	// Pre-render the replayed request bodies per worker: fixed seed ->
 	// fixed byte sequences, and the hot loop measures the daemon, not
 	// the generator.
 	queriesPerReq := max(*batch, 1)
-	path := "/query"
+	path := "/v1/query"
 	if *batch > 1 {
-		path = "/query/batch"
+		path = "/v1/query/batch"
 	}
 	makeBody := func(rng *stats.RNG) []byte {
 		one := func() map[string]any {
@@ -156,7 +250,7 @@ func runLoadtestCommand(args []string) {
 	var maintains, churns, mutErrs atomic.Int64
 	var joinLat, leaveLat []float64
 	mutate(*maintain, func() {
-		if post(client, base+"/reform") {
+		if post(client, base+"/v1/reform") {
 			maintains.Add(1)
 		} else {
 			mutErrs.Add(1)
@@ -170,7 +264,7 @@ func runLoadtestCommand(args []string) {
 			"queries": []map[string]any{{"terms": []string{term(cat, churnRNG.Intn(6))}, "count": 1}},
 		})
 		t0 := time.Now()
-		resp, err := client.Post(base+"/peers", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(base+"/v1/peers", "application/json", bytes.NewReader(body))
 		if err != nil {
 			mutErrs.Add(1)
 			return
@@ -186,7 +280,7 @@ func runLoadtestCommand(args []string) {
 		}
 		json.NewDecoder(resp.Body).Decode(&jr)
 		resp.Body.Close()
-		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/peers/%d", base, jr.ID), nil)
+		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/peers/%d", base, jr.ID), nil)
 		t0 = time.Now()
 		resp, err = client.Do(req)
 		if err != nil {
@@ -231,7 +325,7 @@ func runLoadtestCommand(args []string) {
 				}
 				body := bodies[w][i%replayLen]
 				t0 := time.Now()
-				resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(queryBases[(w+i)%len(queryBases)]+path, "application/json", bytes.NewReader(body))
 				if err != nil {
 					res.errs++
 					continue
@@ -288,6 +382,45 @@ func runLoadtestCommand(args []string) {
 	printMutLat("join ms", joinLat)
 	printMutLat("leave ms", leaveLat)
 	fmt.Printf("  errors      %d query, %d mutation\n", errs, mutErrs.Load())
+
+	// Quiesced verification: every replica catches up to the daemon's
+	// final published sequence, then must answer byte-identically.
+	verifyFailed := false
+	if *verify {
+		if !waitRoutersSynced(10 * time.Second) {
+			verifyFailed = true
+		} else {
+			fetch := func(b string, body []byte) (int, []byte) {
+				resp, err := client.Post(b+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					return 0, []byte(err.Error())
+				}
+				defer resp.Body.Close()
+				out, _ := io.ReadAll(resp.Body)
+				return resp.StatusCode, out
+			}
+			checked := 0
+		verifyLoop:
+			for i := 0; i < replayLen; i++ {
+				body := bodies[0][i]
+				wantCode, want := fetch(base, body)
+				for _, qb := range queryBases {
+					gotCode, got := fetch(qb, body)
+					checked++
+					if gotCode != wantCode || !bytes.Equal(want, got) {
+						fmt.Fprintf(os.Stderr, "loadtest: DIVERGENCE on %s\n  daemon %d %s\n  %s %d %s\n",
+							body, wantCode, want, qb, gotCode, got)
+						verifyFailed = true
+						break verifyLoop
+					}
+				}
+			}
+			if !verifyFailed {
+				fmt.Printf("  verify      %d router answers byte-identical to the daemon's\n", checked)
+			}
+		}
+	}
+
 	if st := fetchStats(client, base); st != nil {
 		fmt.Printf("server stats: peers=%v clusters=%v queries_served=%v published_views=%v\n",
 			st["peers"], st["clusters"], st["queries_served"], st["published_views"])
@@ -309,7 +442,19 @@ func runLoadtestCommand(args []string) {
 			}
 		}
 	}
-	if errs > 0 || mutErrs.Load() > 0 {
+	if usingRouters {
+		for i, qb := range queryBases {
+			st := fetchStats(client, qb)
+			if st == nil {
+				fmt.Printf("router %d (%s): stats unavailable\n", i, qb)
+				continue
+			}
+			fmt.Printf("router %d: synced=%v view_seq=%v full_syncs=%v delta_syncs=%v sync_errors=%v queries_served=%v\n",
+				i, st["synced"], st["view_seq"], st["full_syncs"], st["delta_syncs"],
+				st["sync_errors"], st["queries_served"])
+		}
+	}
+	if errs > 0 || mutErrs.Load() > 0 || verifyFailed {
 		os.Exit(1)
 	}
 }
@@ -338,7 +483,7 @@ func post(client *http.Client, url string) bool {
 }
 
 func fetchStats(client *http.Client, base string) map[string]any {
-	resp, err := client.Get(base + "/stats")
+	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
 		return nil
 	}

@@ -11,6 +11,7 @@
 //	reform bench -o BENCH.json     # machine-readable microbenchmarks
 //	reform bench -baseline B.json  # fail on hot-path regressions vs B.json
 //	reform serve -addr :8080       # long-running join/leave/query daemon
+//	reform route -upstream URL     # stateless query-router replica
 //	reform loadtest -workers 8     # load-generate against the daemon
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
@@ -26,17 +27,22 @@
 // committed BENCH_BASELINE.json and exits nonzero on regression (the
 // same gate CI runs; QueryServe/QueryServeParallel additionally pin
 // the serving read path to 0 allocs/op). The serve subcommand exposes
-// the overlay over HTTP: POST /peers (join), DELETE /peers/{id}
-// (leave), POST /query and POST /query/batch (lock-free reads from
-// atomically published views), POST /reform, POST /compact, GET
-// /stats (lock-free, exact) and GET /snapshot, with reformulation and
-// workload compaction on tickers and snapshot/restore across
-// restarts; in-place compaction bounds memory by the live query set,
-// so the daemon runs indefinitely under novel-query churn. The
-// loadtest subcommand replays a fixed-seed query workload with
-// concurrent workers — against a remote daemon or an in-process one —
-// and reports throughput and p50/p95/p99 latency, optionally with
-// maintenance and churn running concurrently.
+// the overlay over HTTP under /v1 (see API.md): POST /v1/peers
+// (join), DELETE /v1/peers/{id} (leave), POST /v1/query and
+// POST /v1/query/batch (lock-free reads from atomically published
+// views), POST /v1/reform, POST /v1/compact, GET /v1/stats
+// (lock-free, exact), GET /v1/snapshot and GET /v1/view/watch (the
+// routing-view replication feed), with reformulation and workload
+// compaction on tickers and snapshot/restore across restarts;
+// in-place compaction bounds memory by the live query set, so the
+// daemon runs indefinitely under novel-query churn. The route
+// subcommand runs a stateless query-router replica that follows the
+// watch feed and serves the data plane byte-identically to the
+// daemon. The loadtest subcommand replays a fixed-seed query workload
+// with concurrent workers — against a remote daemon, an in-process
+// one, or a router tier — and reports throughput and p50/p95/p99
+// latency, optionally with maintenance and churn running
+// concurrently.
 package main
 
 import (
@@ -58,6 +64,9 @@ func main() {
 			return
 		case "serve":
 			runServeCommand(os.Args[2:])
+			return
+		case "route":
+			runRouteCommand(os.Args[2:])
 			return
 		case "loadtest":
 			runLoadtestCommand(os.Args[2:])

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+// runRouteCommand implements `reform route`: a stateless query-router
+// replica that follows an authoritative daemon's /v1/view/watch feed
+// and serves the v1 data plane (POST /v1/query, POST /v1/query/batch,
+// GET /v1/stats) from its local copy of the routing view. Any number
+// of replicas can front one daemon; each answers byte-identically to
+// the engine for the views it has synchronized.
+func runRouteCommand(args []string) {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	upstream := fs.String("upstream", "http://localhost:8080", "authoritative daemon base URL")
+	pollTimeout := fs.Duration("poll-timeout", 25*time.Second, "watch long-poll timeout requested upstream")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff between failed syncs and the Retry-After advertised while unsynchronized")
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "reform-route ", log.LstdFlags)
+	rt := router.New(router.Config{
+		Upstream:    *upstream,
+		PollTimeout: *pollTimeout,
+		RetryAfter:  *retryAfter,
+		Logf:        logger.Printf,
+	})
+	rt.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		logger.Printf("listening on %s, following %s", *addr, *upstream)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("listen: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	logger.Printf("shutting down")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	rt.Shutdown()
+	logger.Printf("stopped")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 
 	"repro/internal/attr"
@@ -108,6 +109,13 @@ func (e *Engine) BuildRoutingView(prev *RoutingView) *RoutingView {
 // Live returns the live peer count at snapshot time.
 func (v *RoutingView) Live() int { return v.live }
 
+// PopVersion returns the engine population/content version the view
+// was built at. Two views with equal PopVersion share peers and
+// posting lists and differ at most in the cluster assignment — exactly
+// the condition under which a pure-relocation delta (DiffFrom /
+// ApplyMoves) can carry one view to the other.
+func (v *RoutingView) PopVersion() uint64 { return v.popVersion }
+
 // Slots returns the peer-slot count at snapshot time.
 func (v *RoutingView) Slots() int { return len(v.clusterOf) }
 
@@ -150,4 +158,175 @@ func (v *RoutingView) Route(q attr.Set, sc *RouteScratch) (total int, hits []Rou
 		}
 	}
 	return total, sc.hits
+}
+
+// The remainder of this file is the view replication surface: the
+// pieces a stateless query-router tier needs to mirror the
+// authoritative engine's RoutingView over a wire protocol. A router
+// bootstraps from a full export (Export -> encode -> decode ->
+// FromViewData) and then follows the engine with pure-relocation
+// deltas (DiffFrom on the engine side, ApplyMoves on the router
+// side), resynchronizing with a fresh full view whenever PopVersion
+// moves — joins, leaves and rebuilds change peers and posting lists,
+// which deltas deliberately cannot express.
+
+// SlotMove is one entry of a pure-relocation delta: the peer in Slot
+// is now assigned to cluster To. A sequence of SlotMoves carries a
+// RoutingView to a successor with the same PopVersion.
+type SlotMove struct {
+	Slot int32
+	To   cluster.CID
+}
+
+// DiffFrom extracts the pure-relocation delta that carries prev to v:
+// one SlotMove per slot whose cluster assignment differs. It returns
+// ok=false when no such delta exists — prev is nil, from a different
+// population version, or (defensively) a different slot count — in
+// which case the subscriber needs a full view instead. An empty,
+// ok=true delta means the views route identically (e.g. a republish
+// after a workload compaction).
+func (v *RoutingView) DiffFrom(prev *RoutingView) (moves []SlotMove, ok bool) {
+	if prev == nil || prev.popVersion != v.popVersion || len(prev.clusterOf) != len(v.clusterOf) {
+		return nil, false
+	}
+	for i := range v.clusterOf {
+		if v.clusterOf[i] != prev.clusterOf[i] {
+			moves = append(moves, SlotMove{Slot: int32(i), To: v.clusterOf[i]})
+		}
+	}
+	return moves, true
+}
+
+// ApplyMoves derives the successor view reached from v by the given
+// pure-relocation delta. Peers and posting lists are shared with v
+// (relocations change neither), the assignment is copied and patched,
+// and the per-cluster sizes are recomputed, so the call is O(slots).
+// Moves must relocate live slots to real clusters; anything else —
+// out-of-range slot, dead slot, negative target — returns an error
+// and the caller should resynchronize with a full view.
+func (v *RoutingView) ApplyMoves(moves []SlotMove) (*RoutingView, error) {
+	next := &RoutingView{
+		peers:      v.peers,
+		postings:   v.postings,
+		clusterOf:  slices.Clone(v.clusterOf),
+		live:       v.live,
+		popVersion: v.popVersion,
+	}
+	for _, m := range moves {
+		if m.Slot < 0 || int(m.Slot) >= len(next.clusterOf) {
+			return nil, fmt.Errorf("core: move slot %d out of range [0,%d)", m.Slot, len(next.clusterOf))
+		}
+		if next.clusterOf[m.Slot] == cluster.None {
+			return nil, fmt.Errorf("core: move of unoccupied slot %d", m.Slot)
+		}
+		if m.To < 0 {
+			return nil, fmt.Errorf("core: move slot %d to invalid cluster %d", m.Slot, m.To)
+		}
+		next.clusterOf[m.Slot] = m.To
+	}
+	next.rebuildSizes()
+	return next, nil
+}
+
+// rebuildSizes recomputes sizes and nonEmpty from clusterOf. The
+// sizes slice is dimensioned to the highest occupied cluster ID + 1;
+// every clusterOf entry is below that bound (Route's accumulator
+// indexes by it), and nonEmpty comes out in ascending order (Route's
+// hit order contract).
+func (v *RoutingView) rebuildSizes() {
+	maxC := -1
+	for _, c := range v.clusterOf {
+		if int(c) > maxC {
+			maxC = int(c)
+		}
+	}
+	v.sizes = make([]int, maxC+1)
+	for _, c := range v.clusterOf {
+		if c != cluster.None {
+			v.sizes[c]++
+		}
+	}
+	v.nonEmpty = v.nonEmpty[:0]
+	for c, n := range v.sizes {
+		if n > 0 {
+			v.nonEmpty = append(v.nonEmpty, cluster.CID(c))
+		}
+	}
+}
+
+// ViewData is the neutral, exported form of a RoutingView — the
+// payload of a full-view wire record. Slots are parallel across Items
+// and ClusterOf; a slot is occupied iff its ClusterOf entry is not
+// cluster.None (an occupied slot may legitimately share zero items).
+type ViewData struct {
+	// PopVersion is the population/content version of the source view.
+	PopVersion uint64
+	// Items holds each slot's shared content.
+	Items [][]attr.Set
+	// ClusterOf is the slot -> cluster assignment (None = unoccupied).
+	ClusterOf []cluster.CID
+	// Postings maps an attribute to the live slots whose content
+	// contains it.
+	Postings map[attr.ID][]int32
+}
+
+// Export renders v as a ViewData. Items are copied per slot; the
+// assignment and posting lists alias the view's immutable state, so
+// the result must be treated as read-only.
+func (v *RoutingView) Export() ViewData {
+	items := make([][]attr.Set, len(v.peers))
+	for i, p := range v.peers {
+		if p != nil {
+			items[i] = p.Items()
+		}
+	}
+	return ViewData{
+		PopVersion: v.popVersion,
+		Items:      items,
+		ClusterOf:  v.clusterOf,
+		Postings:   v.postings,
+	}
+}
+
+// FromViewData reconstructs a servable RoutingView from an exported
+// (typically wire-decoded) ViewData: fresh peers are built and frozen
+// per occupied slot, sizes and the non-empty list are derived from
+// the assignment, and the assignment and posting lists are adopted
+// (the caller must not mutate them afterwards). The data is validated
+// — mismatched slot counts, postings naming unoccupied or
+// out-of-range slots, and negative cluster IDs are rejected — so a
+// decoder can hand over untrusted input without risking a panic on
+// the router's read path.
+func FromViewData(d ViewData) (*RoutingView, error) {
+	if len(d.Items) != len(d.ClusterOf) {
+		return nil, fmt.Errorf("core: view data has %d item slots but %d assignment slots", len(d.Items), len(d.ClusterOf))
+	}
+	v := &RoutingView{
+		clusterOf:  d.ClusterOf,
+		postings:   d.Postings,
+		popVersion: d.PopVersion,
+		peers:      make([]*peer.Peer, len(d.Items)),
+	}
+	for i, c := range d.ClusterOf {
+		if c == cluster.None {
+			continue
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("core: slot %d assigned to invalid cluster %d", i, c)
+		}
+		p := peer.New(i)
+		p.SetItems(d.Items[i])
+		p.Freeze()
+		v.peers[i] = p
+		v.live++
+	}
+	for a, lst := range d.Postings {
+		for _, pid := range lst {
+			if pid < 0 || int(pid) >= len(v.peers) || v.peers[pid] == nil {
+				return nil, fmt.Errorf("core: posting list of attr %d names unoccupied slot %d", a, pid)
+			}
+		}
+	}
+	v.rebuildSizes()
+	return v, nil
 }

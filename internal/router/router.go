@@ -1,0 +1,364 @@
+// Package router is the stateless query-router tier: a process that
+// follows the authoritative daemon's routing-view replication feed
+// (GET /v1/view/watch, wire format in internal/viewwire) and serves
+// the v1 data plane — POST /v1/query and POST /v1/query/batch — from
+// its local copy of the view.
+//
+// A router holds no overlay state of its own: everything it serves is
+// reconstructed from full records and advanced by pure-relocation
+// delta records, so any number of replicas scale the read path
+// horizontally while the daemon remains the single writer. Because a
+// replica answers through exactly the same code path as the daemon
+// (internal/api over a core.RoutingView), its responses are
+// byte-identical to the engine's for the same published view — the
+// tier's correctness contract, pinned by the property tests in this
+// package.
+//
+// Until the first full record arrives (and again only if the process
+// restarts), the data plane answers 503 with a Retry-After header and
+// the api.CodeNotReady error code. After that the router always
+// serves its latest synchronized view, even while the upstream is
+// briefly unreachable — stale-but-consistent beats unavailable for a
+// read tier; /v1/stats reports how far behind it is.
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/viewwire"
+)
+
+// maxRecordBytes bounds one replication record read from upstream.
+const maxRecordBytes = 1 << 28
+
+// Config parameterizes a Router.
+type Config struct {
+	// Upstream is the authoritative daemon's base URL.
+	Upstream string
+	// PollTimeout is the long-poll timeout requested from upstream;
+	// 0 means 25s.
+	PollTimeout time.Duration
+	// RetryAfter is both the backoff between failed sync attempts and
+	// the Retry-After the data plane advertises while unsynchronized;
+	// 0 means 1s.
+	RetryAfter time.Duration
+	// Client is the HTTP client used upstream; nil means a dedicated
+	// client with sane long-poll timeouts.
+	Client *http.Client
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 25 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Client == nil {
+		// The read deadline must outlive a full long-poll plus slack.
+		c.Client = &http.Client{Timeout: c.PollTimeout + 10*time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// syncedView is one atomically published local view: the resolved
+// term table plus the reconstructed routing view.
+type syncedView struct {
+	seq     uint64
+	terms   map[string]attr.ID
+	routing *core.RoutingView
+}
+
+// routerMetrics instruments the three endpoints a router serves.
+type routerMetrics struct {
+	query api.EndpointMetrics
+	batch api.EndpointMetrics
+	stats api.EndpointMetrics
+}
+
+// Router follows the replication feed and serves the data plane.
+type Router struct {
+	cfg     Config
+	started time.Time
+
+	// view is the latest synchronized local view (nil until the first
+	// full record lands); the data plane loads it once per request.
+	view atomic.Pointer[syncedView]
+
+	fullSyncs  atomic.Int64
+	deltaSyncs atomic.Int64
+	syncErrors atomic.Int64
+	served     atomic.Int64
+
+	met routerMetrics
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New builds a Router; call Start to launch the sync loop.
+func New(cfg Config) *Router {
+	rt := &Router{cfg: cfg.withDefaults(), started: time.Now()}
+	rt.met.query.Route = "POST /v1/query"
+	rt.met.batch.Route = "POST /v1/query/batch"
+	rt.met.stats.Route = "GET /v1/stats"
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	return rt
+}
+
+// Start launches the background sync loop against cfg.Upstream.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go rt.syncLoop()
+}
+
+// Shutdown stops the sync loop and waits for it to exit.
+func (rt *Router) Shutdown() {
+	rt.stopOnce.Do(rt.cancel)
+	rt.wg.Wait()
+}
+
+// ApplyRecord advances the local view with one decoded replication
+// record: full records (re)build it, delta records relocate within
+// it. Errors leave the current view untouched; the caller decides
+// whether to resynchronize.
+func (rt *Router) ApplyRecord(rec viewwire.Record) error {
+	switch rec.Kind {
+	case viewwire.KindFull:
+		routing, err := core.FromViewData(rec.View)
+		if err != nil {
+			return fmt.Errorf("router: full record rejected: %w", err)
+		}
+		terms := make(map[string]attr.ID, len(rec.Terms))
+		for id, name := range rec.Terms {
+			terms[name] = attr.ID(id)
+		}
+		rt.view.Store(&syncedView{seq: rec.Seq, terms: terms, routing: routing})
+		rt.fullSyncs.Add(1)
+	case viewwire.KindDelta:
+		cur := rt.view.Load()
+		if cur == nil {
+			return fmt.Errorf("router: delta record with no base view")
+		}
+		if got := cur.routing.PopVersion(); got != rec.PopVersion {
+			return fmt.Errorf("router: delta for population version %d against %d", rec.PopVersion, got)
+		}
+		routing, err := cur.routing.ApplyMoves(rec.Moves)
+		if err != nil {
+			return fmt.Errorf("router: delta rejected: %w", err)
+		}
+		rt.view.Store(&syncedView{seq: rec.Seq, terms: cur.terms, routing: routing})
+		rt.deltaSyncs.Add(1)
+	default:
+		return fmt.Errorf("router: unknown record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+// syncLoop long-polls the upstream watch endpoint forever, applying
+// each record as it arrives. Failures back off RetryAfter and count
+// in sync_errors; a record the apply path rejects drops the loop's
+// position so the next poll resynchronizes with a full record.
+func (rt *Router) syncLoop() {
+	defer rt.wg.Done()
+	var seq, pop uint64
+	have := false
+	for rt.ctx.Err() == nil {
+		rec, status, err := rt.fetch(seq, pop, have)
+		if err != nil {
+			if rt.ctx.Err() != nil {
+				return
+			}
+			rt.syncErrors.Add(1)
+			rt.cfg.Logf("router: sync: %v", err)
+			rt.sleep(rt.cfg.RetryAfter)
+			continue
+		}
+		if status == http.StatusNoContent {
+			continue // long-poll timeout: nothing new, poll again
+		}
+		if err := rt.ApplyRecord(rec); err != nil {
+			rt.syncErrors.Add(1)
+			rt.cfg.Logf("router: %v (forcing full resync)", err)
+			seq, pop, have = 0, 0, false
+			rt.sleep(rt.cfg.RetryAfter)
+			continue
+		}
+		seq, pop, have = rec.Seq, rec.PopVersion, true
+	}
+}
+
+func (rt *Router) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-rt.ctx.Done():
+	}
+}
+
+// fetch issues one long-poll. It returns the decoded record on 200,
+// status 204 on a quiet timeout, and an error otherwise.
+func (rt *Router) fetch(seq, pop uint64, have bool) (viewwire.Record, int, error) {
+	url := rt.cfg.Upstream + "/v1/view/watch?timeout_ms=" +
+		strconv.FormatInt(rt.cfg.PollTimeout.Milliseconds(), 10)
+	if have {
+		url += "&seq=" + strconv.FormatUint(seq, 10) + "&pop=" + strconv.FormatUint(pop, 10)
+	}
+	req, err := http.NewRequestWithContext(rt.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return viewwire.Record{}, 0, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return viewwire.Record{}, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return viewwire.Record{}, http.StatusNoContent, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes))
+		if err != nil {
+			return viewwire.Record{}, 0, err
+		}
+		rec, err := viewwire.Decode(body)
+		if err != nil {
+			return viewwire.Record{}, 0, err
+		}
+		return rec, http.StatusOK, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return viewwire.Record{}, resp.StatusCode, fmt.Errorf("watch: upstream %d: %s", resp.StatusCode, body)
+	}
+}
+
+// Synced reports whether a view is available to serve from.
+func (rt *Router) Synced() bool { return rt.view.Load() != nil }
+
+// Seq returns the synchronized view's sequence number (0 before the
+// first sync).
+func (rt *Router) Seq() uint64 {
+	if v := rt.view.Load(); v != nil {
+		return v.seq
+	}
+	return 0
+}
+
+// FullSyncs returns how many full records have been applied.
+func (rt *Router) FullSyncs() int64 { return rt.fullSyncs.Load() }
+
+// DeltaSyncs returns how many delta records have been applied.
+func (rt *Router) DeltaSyncs() int64 { return rt.deltaSyncs.Load() }
+
+// SyncErrors returns how many sync attempts failed.
+func (rt *Router) SyncErrors() int64 { return rt.syncErrors.Load() }
+
+// WaitSynced blocks until the router has reached at least seq (0: any
+// view at all) or the timeout elapses; it reports success.
+func (rt *Router) WaitSynced(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if v := rt.view.Load(); v != nil && v.seq >= seq {
+			return true
+		}
+		if time.Now().After(deadline) || rt.ctx.Err() != nil {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AnswerQuery answers one query from the current view without HTTP
+// framing — the loadtest verifier and the RouterServe benchmark drive
+// this directly. ok is false while unsynchronized.
+func (rt *Router) AnswerQuery(raw []string, sc *api.Scratch) (resp api.QueryResponse, ok bool) {
+	v := rt.view.Load()
+	if v == nil {
+		return api.QueryResponse{}, false
+	}
+	return api.AnswerQuery(v.terms, v.routing, raw, sc), true
+}
+
+// Handler returns the router's HTTP handler: the v1 data plane plus
+// the router's own stats.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", api.Instrument(&rt.met.query, rt.handleQuery))
+	mux.HandleFunc("POST /v1/query/batch", api.Instrument(&rt.met.batch, rt.handleBatch))
+	mux.HandleFunc("GET /v1/stats", api.Instrument(&rt.met.stats, rt.handleStats))
+	return mux
+}
+
+// notReady answers 503 with the Retry-After the config advertises.
+func (rt *Router) notReady(w http.ResponseWriter) {
+	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	api.Error(w, http.StatusServiceUnavailable, api.CodeNotReady, "no synchronized view yet; retry shortly")
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	v := rt.view.Load()
+	if v == nil {
+		rt.notReady(w)
+		return
+	}
+	rt.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing)))
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	v := rt.view.Load()
+	if v == nil {
+		rt.notReady(w)
+		return
+	}
+	rt.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing)))
+}
+
+// handleStats reports the router's replication position and endpoint
+// metrics — deliberately a different payload from the daemon's
+// /v1/stats: a router has no engine gauges, only a followed view.
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"synced":         false,
+		"upstream":       rt.cfg.Upstream,
+		"full_syncs":     rt.fullSyncs.Load(),
+		"delta_syncs":    rt.deltaSyncs.Load(),
+		"sync_errors":    rt.syncErrors.Load(),
+		"queries_served": rt.served.Load(),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+		"endpoints": map[string]any{
+			"query":       rt.met.query.Snapshot(),
+			"query_batch": rt.met.batch.Snapshot(),
+			"stats":       rt.met.stats.Snapshot(),
+		},
+	}
+	if v := rt.view.Load(); v != nil {
+		out["synced"] = true
+		out["view_seq"] = v.seq
+		out["pop_version"] = v.routing.PopVersion()
+		out["peers"] = v.routing.Live()
+		out["slots"] = v.routing.Slots()
+	}
+	api.WriteJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/viewwire"
+)
+
+// rawDo issues one request with a raw string body and returns status,
+// body and headers.
+func rawDo(t *testing.T, ts *httptest.Server, method, path, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestV1ErrorEnvelope pins the error contract, table-driven across
+// every handler-rejected request: each failure is exactly the
+// {"error":{"code","message"}} envelope, with the documented stable
+// code and the documented status — on the v1 route and byte-identical
+// on its legacy alias.
+func TestV1ErrorEnvelope(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	doJSON(t, ts, "POST", "/v1/peers", joinBody(0, 0), http.StatusCreated)
+
+	bigBatch := batchRequest{Queries: make([]queryRequest, maxBatchQueries+1)}
+	for i := range bigBatch.Queries {
+		bigBatch.Queries[i] = queryRequest{Terms: []string{"c0-t0"}}
+	}
+	bigBatchBody, _ := json.Marshal(bigBatch)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string // v1 path; legacy alias derived by trimming /v1
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"query bad json", "POST", "/v1/query", `{"terms":`, http.StatusBadRequest, api.CodeBadJSON},
+		{"query unknown field", "POST", "/v1/query", `{"terms":["x"],"bogus":1}`, http.StatusBadRequest, api.CodeBadJSON},
+		{"query trailing data", "POST", "/v1/query", `{"terms":["x"]} garbage`, http.StatusBadRequest, api.CodeBadJSON},
+		{"query no terms", "POST", "/v1/query", `{"terms":[]}`, http.StatusBadRequest, api.CodeEmptyQuery},
+		{"query body too large", "POST", "/v1/query",
+			fmt.Sprintf(`{"terms":["%s"]}`, strings.Repeat("x", maxBodyBytes+1)),
+			http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge},
+		{"batch no queries", "POST", "/v1/query/batch", `{"queries":[]}`, http.StatusBadRequest, api.CodeEmptyBatch},
+		{"batch element no terms", "POST", "/v1/query/batch", `{"queries":[{"terms":[]}]}`, http.StatusBadRequest, api.CodeEmptyQuery},
+		{"batch too large", "POST", "/v1/query/batch", string(bigBatchBody), http.StatusRequestEntityTooLarge, api.CodeBatchTooLarge},
+		{"join query no terms", "POST", "/v1/peers", `{"items":[],"queries":[{"terms":[],"count":1}]}`, http.StatusBadRequest, api.CodeEmptyQuery},
+		{"join bad count", "POST", "/v1/peers", `{"items":[],"queries":[{"terms":["x"],"count":0}]}`, http.StatusBadRequest, api.CodeBadQueryCount},
+		{"peer id not a number", "GET", "/v1/peers/xyz", "", http.StatusBadRequest, api.CodeBadPeerID},
+		{"peer not found", "GET", "/v1/peers/999", "", http.StatusNotFound, api.CodePeerNotFound},
+		{"peer delete not found", "DELETE", "/v1/peers/999", "", http.StatusNotFound, api.CodePeerNotFound},
+		{"watch bad seq", "GET", "/v1/view/watch?seq=abc", "", http.StatusBadRequest, api.CodeBadParam},
+		{"watch bad pop", "GET", "/v1/view/watch?pop=-3", "", http.StatusBadRequest, api.CodeBadParam},
+		{"watch bad timeout", "GET", "/v1/view/watch?timeout_ms=nope", "", http.StatusBadRequest, api.CodeBadParam},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := rawDo(t, ts, tc.method, tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (%s)", status, tc.wantStatus, body)
+			}
+			var env struct {
+				Error *api.ErrorInfo `json:"error"`
+			}
+			if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+				t.Fatalf("response is not the error envelope: %s (%v)", body, err)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q", env.Error.Code, tc.wantCode)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+			// The envelope must be exactly {"error":{...}} with only
+			// code and message inside.
+			var shape map[string]map[string]any
+			if err := json.Unmarshal(body, &shape); err != nil || len(shape) != 1 || len(shape["error"]) != 2 {
+				t.Fatalf("envelope shape: %s", body)
+			}
+			// The deprecated alias answers byte-identically (view/watch
+			// is v1-only).
+			legacy := strings.TrimPrefix(tc.path, "/v1")
+			if strings.HasPrefix(legacy, "/view/") {
+				return
+			}
+			lstatus, lbody, lhdr := rawDo(t, ts, tc.method, legacy, tc.body)
+			if lstatus != status || string(lbody) != string(body) {
+				t.Fatalf("legacy alias diverged: %d %s vs %d %s", lstatus, lbody, status, body)
+			}
+			if lhdr.Get("Deprecation") == "" {
+				t.Fatal("legacy alias missing Deprecation header")
+			}
+		})
+	}
+}
+
+// TestLegacyAliasEquivalence pins that the unprefixed routes are pure
+// aliases: same bytes for successful responses, Deprecation header on
+// the alias only, and both spellings land in the same stats entry.
+func TestLegacyAliasEquivalence(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 4; i++ {
+		doJSON(t, ts, "POST", "/v1/peers", joinBody(i%2, i), http.StatusCreated)
+	}
+
+	body := `{"terms":["c0-t0"]}`
+	v1Status, v1Body, v1Hdr := rawDo(t, ts, "POST", "/v1/query", body)
+	lgStatus, lgBody, lgHdr := rawDo(t, ts, "POST", "/query", body)
+	if v1Status != http.StatusOK || lgStatus != http.StatusOK || string(v1Body) != string(lgBody) {
+		t.Fatalf("alias answers diverged: %d %s vs %d %s", v1Status, v1Body, lgStatus, lgBody)
+	}
+	if v1Hdr.Get("Deprecation") != "" {
+		t.Fatal("v1 route carries a Deprecation header")
+	}
+	if lgHdr.Get("Deprecation") == "" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+
+	st := doJSON(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	q := st["endpoints"].(map[string]any)["query"].(map[string]any)
+	if got := q["requests"].(float64); got != 2 {
+		t.Fatalf("alias and v1 should share one metrics entry: requests = %v, want 2", got)
+	}
+	if q["route"] != "POST /v1/query" {
+		t.Fatalf("stats route = %v, want POST /v1/query", q["route"])
+	}
+}
+
+// TestStatsEndpointRoutes pins satellite (c): every per-endpoint stats
+// entry names its canonical v1 route.
+func TestStatsEndpointRoutes(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	st := doJSON(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	eps := st["endpoints"].(map[string]any)
+	want := map[string]string{
+		"query":       "POST /v1/query",
+		"query_batch": "POST /v1/query/batch",
+		"stats":       "GET /v1/stats",
+		"peers_join":  "POST /v1/peers",
+		"peers_get":   "GET /v1/peers/{id}",
+		"peers_leave": "DELETE /v1/peers/{id}",
+		"reform":      "POST /v1/reform",
+		"compact":     "POST /v1/compact",
+		"snapshot":    "GET /v1/snapshot",
+		"view_watch":  "GET /v1/view/watch",
+	}
+	if len(eps) != len(want) {
+		t.Fatalf("%d endpoint entries, want %d", len(eps), len(want))
+	}
+	for name, route := range want {
+		ep, ok := eps[name].(map[string]any)
+		if !ok {
+			t.Fatalf("missing endpoint entry %q", name)
+		}
+		if ep["route"] != route {
+			t.Errorf("endpoint %q route = %v, want %q", name, ep["route"], route)
+		}
+	}
+}
+
+// watchRecord long-polls /v1/view/watch once and decodes the record.
+func watchRecord(t *testing.T, ts *httptest.Server, query string) (viewwire.Record, int) {
+	t.Helper()
+	status, body, hdr := rawDo(t, ts, "GET", "/v1/view/watch"+query, "")
+	if status != http.StatusOK {
+		return viewwire.Record{}, status
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	rec, err := viewwire.Decode(body)
+	if err != nil {
+		t.Fatalf("watch record does not decode: %v", err)
+	}
+	return rec, status
+}
+
+// TestViewWatchDeltaOnPureRelocation is the acceptance pin for the
+// replication feed: first contact yields a full record; a maintenance
+// period that only relocates peers (no membership change) advances the
+// subscriber with a DELTA record on the same population version; a
+// membership change forces the next record back to a full resync.
+func TestViewWatchDeltaOnPureRelocation(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 12; i++ {
+		doJSON(t, ts, "POST", "/v1/peers", joinBody(i%3, i/3), http.StatusCreated)
+	}
+
+	// First contact: full record at the current position.
+	full, status := watchRecord(t, ts, "")
+	if status != http.StatusOK || full.Kind != viewwire.KindFull {
+		t.Fatalf("first contact: status %d kind %d, want 200/full", status, full.Kind)
+	}
+	if _, err := core.FromViewData(full.View); err != nil {
+		t.Fatalf("full record rejected by view validation: %v", err)
+	}
+
+	// A maintenance period relocates peers but changes no membership:
+	// the subscriber's next record must be a pure-relocation delta.
+	rpt := doJSON(t, ts, "POST", "/v1/reform", nil, http.StatusOK)
+	if rpt["moves"].(float64) == 0 {
+		t.Fatal("reform granted no moves; the fixture no longer exercises relocation")
+	}
+	rec, status := watchRecord(t, ts, fmt.Sprintf("?seq=%d&pop=%d", full.Seq, full.PopVersion))
+	if status != http.StatusOK {
+		t.Fatalf("watch after reform: status %d", status)
+	}
+	if rec.Kind != viewwire.KindDelta {
+		t.Fatalf("pure-relocation reform shipped record kind %d, want delta", rec.Kind)
+	}
+	if rec.PopVersion != full.PopVersion {
+		t.Fatalf("delta pop %d, want %d", rec.PopVersion, full.PopVersion)
+	}
+	if rec.Seq <= full.Seq || len(rec.Moves) == 0 {
+		t.Fatalf("delta seq %d (base %d) with %d moves", rec.Seq, full.Seq, len(rec.Moves))
+	}
+	st := doJSON(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	if st["watch_delta"].(float64) == 0 {
+		t.Fatal("stats watch_delta still zero after a delta record")
+	}
+
+	// Membership change: the same subscriber position now requires a
+	// full resync on the new population version.
+	doJSON(t, ts, "POST", "/v1/peers", joinBody(1, 7), http.StatusCreated)
+	rec2, status := watchRecord(t, ts, fmt.Sprintf("?seq=%d&pop=%d", rec.Seq, rec.PopVersion))
+	if status != http.StatusOK || rec2.Kind != viewwire.KindFull {
+		t.Fatalf("after membership change: status %d kind %d, want 200/full", status, rec2.Kind)
+	}
+	if rec2.PopVersion == rec.PopVersion {
+		t.Fatal("population version did not move across a join")
+	}
+}
+
+// TestViewWatchLongPoll pins the blocking behavior: an up-to-date
+// watcher times out with 204, and a watcher blocked mid-poll is woken
+// by the next publication.
+func TestViewWatchLongPoll(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	doJSON(t, ts, "POST", "/v1/peers", joinBody(0, 0), http.StatusCreated)
+
+	cur, _ := watchRecord(t, ts, "")
+	pos := fmt.Sprintf("?seq=%d&pop=%d", cur.Seq, cur.PopVersion)
+
+	status, body, _ := rawDo(t, ts, "GET", "/v1/view/watch"+pos+"&timeout_ms=30", "")
+	if status != http.StatusNoContent {
+		t.Fatalf("up-to-date watcher: status %d (%s), want 204", status, body)
+	}
+
+	type result struct {
+		rec    viewwire.Record
+		status int
+	}
+	done := make(chan result, 1)
+	go func() {
+		rec, status := watchRecord(t, ts, pos+"&timeout_ms=5000")
+		done <- result{rec, status}
+	}()
+	// Give the poller time to block, then publish via a join.
+	time.Sleep(20 * time.Millisecond)
+	doJSON(t, ts, "POST", "/v1/peers", joinBody(1, 1), http.StatusCreated)
+	select {
+	case r := <-done:
+		if r.status != http.StatusOK || r.rec.Kind != viewwire.KindFull {
+			t.Fatalf("woken watcher: status %d kind %d, want 200/full (join bumps pop)", r.status, r.rec.Kind)
+		}
+		if r.rec.Seq <= cur.Seq {
+			t.Fatalf("woken watcher seq %d, base %d", r.rec.Seq, cur.Seq)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("watcher not woken by publication")
+	}
+}

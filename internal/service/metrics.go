@@ -1,173 +1,62 @@
 package service
 
-import (
-	"math/bits"
-	"net/http"
-	"sync/atomic"
-	"time"
-)
+import "repro/internal/api"
 
-// This file implements the daemon's lock-free request metrics: every
-// endpoint owns an endpointMetrics — request/error counters plus a
-// log₂-bucketed latency histogram — updated with atomics only, so
-// GET /stats reads exact numbers at any moment, including while a
-// maintenance period holds the server mutex.
+// The daemon's lock-free request metrics live in the shared api
+// package (the router tier records through the same implementation);
+// this file only lays out which endpoints the daemon instruments and
+// how GET /v1/stats names them.
 
-// latBuckets spans 1ns..2^43ns (~2.4h); slower requests clamp into
-// the last bucket.
-const latBuckets = 44
-
-// latencyHist is a lock-free log₂-bucketed latency histogram. Bucket
-// i counts samples whose nanosecond duration has bit length i, i.e.
-// durations in [2^(i-1), 2^i).
-type latencyHist struct {
-	sumNs  atomic.Int64
-	bucket [latBuckets]atomic.Int64
-}
-
-// Observe records one request latency.
-func (h *latencyHist) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	i := bits.Len64(uint64(ns))
-	if i >= latBuckets {
-		i = latBuckets - 1
-	}
-	h.bucket[i].Add(1)
-	h.sumNs.Add(ns)
-}
-
-// quantiles estimates the given quantiles (ascending, in [0,1]) in
-// one pass, returning each as the upper bound of the bucket holding
-// its rank — an overestimate by at most 2x, which is the resolution
-// the log₂ buckets buy for being lock-free. It also returns the total
-// sample count. Concurrent Observes may land mid-scan; the estimate
-// is self-consistent over the counts it reads.
-func (h *latencyHist) quantiles(qs []float64) (total int64, out []time.Duration) {
-	var counts [latBuckets]int64
-	for i := range counts {
-		counts[i] = h.bucket[i].Load()
-		total += counts[i]
-	}
-	out = make([]time.Duration, len(qs))
-	if total == 0 {
-		return 0, out
-	}
-	seen := int64(0)
-	qi := 0
-	for i := 0; i < latBuckets && qi < len(qs); i++ {
-		seen += counts[i]
-		for qi < len(qs) && float64(seen) >= qs[qi]*float64(total) {
-			out[qi] = time.Duration(uint64(1) << uint(i))
-			qi++
-		}
-	}
-	return total, out
-}
-
-// endpointMetrics aggregates one endpoint's counters and latencies.
-type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	lat      latencyHist
-}
-
-// snapshot renders the endpoint's stats for the /stats payload.
-func (m *endpointMetrics) snapshot() map[string]any {
-	_, q := m.lat.quantiles([]float64{0.5, 0.95, 0.99})
-	n := m.requests.Load()
-	meanUs := 0.0
-	if n > 0 {
-		meanUs = float64(m.lat.sumNs.Load()) / float64(n) / 1e3
-	}
-	return map[string]any{
-		"requests": n,
-		"errors":   m.errors.Load(),
-		"mean_us":  meanUs,
-		"p50_us":   float64(q[0].Nanoseconds()) / 1e3,
-		"p95_us":   float64(q[1].Nanoseconds()) / 1e3,
-		"p99_us":   float64(q[2].Nanoseconds()) / 1e3,
-	}
-}
-
-// holdSnapshot renders a bare histogram (no error counter) for the
-// /stats payload — used for the mutation-lock hold times, where the
-// histogram is the entire story: how long any single critical section
-// stalls a queued join or leave.
-func (h *latencyHist) holdSnapshot() map[string]any {
-	total, q := h.quantiles([]float64{0.5, 0.95, 0.99})
-	meanUs := 0.0
-	if total > 0 {
-		meanUs = float64(h.sumNs.Load()) / float64(total) / 1e3
-	}
-	return map[string]any{
-		"holds":   total,
-		"mean_us": meanUs,
-		"p50_us":  float64(q[0].Nanoseconds()) / 1e3,
-		"p95_us":  float64(q[1].Nanoseconds()) / 1e3,
-		"p99_us":  float64(q[2].Nanoseconds()) / 1e3,
-	}
-}
-
-// serverMetrics holds one endpointMetrics per instrumented endpoint
-// plus the mutation-lock hold-time histogram.
+// serverMetrics holds one api.EndpointMetrics per instrumented
+// endpoint plus the mutation-lock hold-time histogram. Legacy
+// unprefixed aliases share their v1 endpoint's metrics: the stats
+// entry describes the endpoint, not the spelling the client used.
 type serverMetrics struct {
-	query    endpointMetrics
-	batch    endpointMetrics
-	stats    endpointMetrics
-	join     endpointMetrics
-	peerGet  endpointMetrics
-	leave    endpointMetrics
-	reform   endpointMetrics
-	compact  endpointMetrics
-	snapshot endpointMetrics
+	query    api.EndpointMetrics
+	batch    api.EndpointMetrics
+	stats    api.EndpointMetrics
+	join     api.EndpointMetrics
+	peerGet  api.EndpointMetrics
+	leave    api.EndpointMetrics
+	reform   api.EndpointMetrics
+	compact  api.EndpointMetrics
+	snapshot api.EndpointMetrics
+	watch    api.EndpointMetrics
 
 	// lockHold records every mutation-lock hold duration (joins,
 	// leaves, compactions, snapshots and individual maintenance
 	// steps). Under the stepped scheduler its p99 is bounded by one
 	// step's work, not one period's.
-	lockHold latencyHist
+	lockHold api.LatencyHist
+}
+
+// init stamps each endpoint with its canonical v1 route, which the
+// stats payload reports so dashboards key on the HTTP surface.
+func (sm *serverMetrics) init() {
+	sm.query.Route = "POST /v1/query"
+	sm.batch.Route = "POST /v1/query/batch"
+	sm.stats.Route = "GET /v1/stats"
+	sm.join.Route = "POST /v1/peers"
+	sm.peerGet.Route = "GET /v1/peers/{id}"
+	sm.leave.Route = "DELETE /v1/peers/{id}"
+	sm.reform.Route = "POST /v1/reform"
+	sm.compact.Route = "POST /v1/compact"
+	sm.snapshot.Route = "GET /v1/snapshot"
+	sm.watch.Route = "GET /v1/view/watch"
 }
 
 // endpoints renders the per-endpoint stats map.
 func (sm *serverMetrics) endpoints() map[string]any {
 	return map[string]any{
-		"query":       sm.query.snapshot(),
-		"query_batch": sm.batch.snapshot(),
-		"stats":       sm.stats.snapshot(),
-		"peers_join":  sm.join.snapshot(),
-		"peers_get":   sm.peerGet.snapshot(),
-		"peers_leave": sm.leave.snapshot(),
-		"reform":      sm.reform.snapshot(),
-		"compact":     sm.compact.snapshot(),
-		"snapshot":    sm.snapshot.snapshot(),
-	}
-}
-
-// statusWriter captures the response code for error accounting.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps a handler with request counting and latency
-// recording for m. The wrapper itself takes no locks.
-func instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		m.requests.Add(1)
-		if sw.code >= 400 {
-			m.errors.Add(1)
-		}
-		m.lat.Observe(time.Since(start))
+		"query":       sm.query.Snapshot(),
+		"query_batch": sm.batch.Snapshot(),
+		"stats":       sm.stats.Snapshot(),
+		"peers_join":  sm.join.Snapshot(),
+		"peers_get":   sm.peerGet.Snapshot(),
+		"peers_leave": sm.leave.Snapshot(),
+		"reform":      sm.reform.Snapshot(),
+		"compact":     sm.compact.Snapshot(),
+		"snapshot":    sm.snapshot.Snapshot(),
+		"view_watch":  sm.watch.Snapshot(),
 	}
 }

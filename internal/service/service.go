@@ -5,17 +5,28 @@
 // by reformulation rounds on a ticker — the paper's periodic selfish
 // maintenance turned into an online serving loop.
 //
-// The JSON API:
+// The JSON API lives under a versioned /v1/ prefix and splits into a
+// data plane — reads any stateless router replica (internal/router)
+// can also serve — and a control plane only this authoritative daemon
+// serves:
 //
-//	POST   /peers        admit a peer (content items + local workload)
-//	GET    /peers/{id}   inspect one peer (cluster, individual cost)
-//	DELETE /peers/{id}   retire a peer
-//	POST   /query        route a query against the live population
-//	POST   /query/batch  route up to 1024 queries in one request
-//	POST   /reform       run one maintenance period now
-//	POST   /compact      retire dead workload queries now
-//	GET    /stats        live system metrics (exact, lock-free)
-//	GET    /snapshot     full serialized state (the snapshot format)
+//	data plane:
+//	  POST   /v1/query        route a query against the live population
+//	  POST   /v1/query/batch  route up to 1024 queries in one request
+//	  GET    /v1/stats        live system metrics (exact, lock-free)
+//	control plane:
+//	  POST   /v1/peers        admit a peer (content items + local workload)
+//	  GET    /v1/peers/{id}   inspect one peer (cluster, individual cost)
+//	  DELETE /v1/peers/{id}   retire a peer
+//	  POST   /v1/reform       run one maintenance period now
+//	  POST   /v1/compact      retire dead workload queries now
+//	  GET    /v1/snapshot     full serialized state (the snapshot format)
+//	  GET    /v1/view/watch   long-poll the routing-view replication feed
+//
+// The original unprefixed paths remain as deprecated aliases of the
+// same handlers (marked with a Deprecation response header). Errors
+// everywhere carry the api package's JSON envelope with a stable
+// machine-readable code; see API.md at the repository root.
 //
 // # Concurrency: a mutation path and a lock-free read path
 //
@@ -31,19 +42,24 @@
 // lock is released between steps so queued joins and leaves
 // interleave with the period, and the read view is republished after
 // every step that granted relocations. p99 mutation latency is
-// therefore bounded by one step, not one period; the /stats
+// therefore bounded by one step, not one period; the /v1/stats
 // mutation_lock histogram records every hold. After every mutation
 // the server snapshots the routing
 // state into an immutable read view — term table, posting lists,
 // cluster assignment, stats gauges — and publishes it through an
-// atomic pointer. POST /query, POST /query/batch and GET /stats are
-// served entirely from the latest view: they never take the mutex,
-// scale across cores, and keep answering at full speed while a slow
-// maintenance period holds the lock. Every answer is snapshot
-// isolated — it reflects exactly one published view, never a
-// half-applied mutation — and all queries of a batch share one view.
-// Request counters and latency histograms are atomics, so GET /stats
-// is exact even mid-maintenance.
+// atomic pointer. POST /v1/query, POST /v1/query/batch and
+// GET /v1/stats are served entirely from the latest view: they never
+// take the mutex, scale across cores, and keep answering at full
+// speed while a slow maintenance period holds the lock. Every answer
+// is snapshot isolated — it reflects exactly one published view,
+// never a half-applied mutation — and all queries of a batch share
+// one view. Request counters and latency histograms are atomics, so
+// GET /v1/stats is exact even mid-maintenance.
+//
+// Each publication is also numbered and fed to GET /v1/view/watch,
+// the replication feed a router tier follows: full view records on
+// first contact or population change, compact pure-relocation deltas
+// while only the cluster assignment moves (see internal/viewwire).
 //
 // Snapshots taken periodically and on graceful shutdown let the
 // overlay survive restarts: a new process restored from a snapshot
@@ -57,17 +73,13 @@
 // daemon therefore compacts in place (Engine.Compact: dead QIDs are
 // retired and the survivors densely renumbered) whenever the dead-QID
 // ratio crosses CompactDeadRatio, checked on the CompactEvery ticker
-// and after every maintenance period; POST /compact forces one
+// and after every maintenance period; POST /v1/compact forces one
 // immediately. Compaction preserves every cost and answer exactly, so
 // it is invisible to clients; with it the daemon's memory is bounded
 // by its live query set and reform serve runs indefinitely.
 package service
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -75,6 +87,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -82,12 +95,6 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/workload"
 )
-
-// maxBodyBytes bounds every request body; larger bodies get 413.
-const maxBodyBytes = 1 << 20
-
-// maxBatchQueries bounds one POST /query/batch; larger batches get 413.
-const maxBatchQueries = 1024
 
 // Config parameterizes a Server. Zero values fall back to the paper's
 // setting (α = 1, ε = 0.001, linear θ).
@@ -101,7 +108,7 @@ type Config struct {
 	// MaxRounds bounds each maintenance period.
 	MaxRounds int
 	// ReformEvery drives maintenance periods on a ticker; 0 disables
-	// the ticker (maintenance then runs only via POST /reform).
+	// the ticker (maintenance then runs only via POST /v1/reform).
 	ReformEvery time.Duration
 	// StepBudget bounds the work — phase-1 cluster scans plus phase-2
 	// grant services — one maintenance step performs while holding the
@@ -129,7 +136,7 @@ type Config struct {
 	SnapshotEvery time.Duration
 	// CompactEvery drives workload-compaction checks on a ticker; 0
 	// disables the ticker (the check still runs after every
-	// maintenance period, and POST /compact forces a compaction).
+	// maintenance period, and POST /v1/compact forces a compaction).
 	CompactEvery time.Duration
 	// CompactDeadRatio is the dead-QID fraction above which a check
 	// compacts; 0 means the default 0.5. A negative value compacts
@@ -180,8 +187,8 @@ type Server struct {
 
 	// mu serializes the mutation path: every write to vocab, eng and
 	// runner happens under it, followed by a publishLocked. The read
-	// path (query, batch, stats) never takes it. Acquire it through
-	// lockMutation so every hold is recorded in the hold-time
+	// path (query, batch, stats, watch) never takes it. Acquire it
+	// through lockMutation so every hold is recorded in the hold-time
 	// histogram; maintenance periods take it once per bounded step,
 	// never across steps.
 	mu      sync.Mutex
@@ -189,23 +196,30 @@ type Server struct {
 	eng     *core.Engine
 	runner  *protocol.Runner
 	started time.Time
+	// viewSeq numbers publications (under mu; monotone from 1).
+	viewSeq uint64
 
 	// maintMu serializes maintenance periods themselves (the ticker
-	// and POST /reform): one period at a time, while mu stays free
+	// and POST /v1/reform): one period at a time, while mu stays free
 	// between its steps.
 	maintMu sync.Mutex
 	// maintProgress is the in-progress period's latest position (nil
-	// when no period runs); /stats reads it lock-free.
+	// when no period runs); /v1/stats reads it lock-free.
 	maintProgress atomic.Pointer[protocol.Progress]
 	// stepHook, when set (tests only), runs between maintenance steps
 	// with the mutation lock released.
 	stepHook func()
 
-	// view is the atomically published read snapshot; see view.go.
-	view atomic.Pointer[readView]
+	// view is the atomically published read snapshot; ring retains the
+	// last viewRing publications as delta bases for /v1/view/watch and
+	// notify wakes its long-pollers. See view.go.
+	view   atomic.Pointer[readView]
+	ringMu sync.Mutex
+	ring   [viewRing]*readView
+	notify atomic.Pointer[notifier]
 
-	// Operational counters. All atomics: the read path and GET /stats
-	// touch them without the mutex.
+	// Operational counters. All atomics: the read path and GET
+	// /v1/stats touch them without the mutex.
 	reforms atomic.Int64 // maintenance periods run
 	rounds  atomic.Int64 // reformulation rounds executed
 	moves   atomic.Int64 // granted relocations
@@ -225,8 +239,11 @@ type Server struct {
 	compacted   atomic.Int64
 	// served counts queries answered (single + batched).
 	served atomic.Int64
-	// publishes counts read-view publications.
-	publishes atomic.Int64
+	// publishes counts read-view publications; fullRecords and
+	// deltaRecords count what /v1/view/watch actually shipped.
+	publishes    atomic.Int64
+	fullRecords  atomic.Int64
+	deltaRecords atomic.Int64
 
 	met serverMetrics
 
@@ -245,6 +262,7 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
+	s.met.init()
 	s.eng = core.New(nil, workload.New(0), cluster.FromAssignment(nil), cfg.Theta, cfg.Alpha)
 	s.runner = s.newRunner()
 	s.publishLocked()
@@ -311,7 +329,7 @@ func (s *Server) Shutdown() error {
 
 // lockMutation acquires the mutation lock and returns its release
 // func, which records the hold duration in the mutation-lock
-// histogram /stats exposes — the direct measure of how long any
+// histogram /v1/stats exposes — the direct measure of how long any
 // single critical section can stall a join or leave.
 func (s *Server) lockMutation() func() {
 	s.mu.Lock()
@@ -333,8 +351,8 @@ func (s *Server) lockMutation() func() {
 // relocations — queries see the overlay improve mid-period — and a
 // threshold compaction check rides along at the end: maintenance
 // periods are the natural cadence at which churned-away demand
-// accumulates. Concurrent Reform calls (the ticker and POST /reform)
-// serialize on maintMu, one period at a time.
+// accumulates. Concurrent Reform calls (the ticker and POST
+// /v1/reform) serialize on maintMu, one period at a time.
 func (s *Server) Reform() protocol.Report {
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
@@ -391,7 +409,7 @@ func (s *Server) Reform() protocol.Report {
 // Compact retires dead queries now, regardless of the dead-QID ratio.
 // It returns how many were removed, the surviving distinct-query
 // count, and the daemon's compaction generation — the same triple
-// POST /compact reports.
+// POST /v1/compact reports.
 func (s *Server) Compact() (removed, queries, generation int) {
 	defer s.lockMutation()()
 	removed = s.compactLocked()
@@ -434,47 +452,67 @@ func countMoves(rpt protocol.Report) int {
 	return n
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler: the v1 surface plus the
+// deprecated unprefixed aliases. Aliases share their v1 endpoint's
+// handler and metrics and announce themselves with a Deprecation
+// header.
 func (s *Server) Handler() http.Handler {
+	routes := []struct {
+		v1     string // versioned pattern
+		legacy string // deprecated unprefixed alias ("" = v1-only)
+		m      *api.EndpointMetrics
+		h      http.HandlerFunc
+	}{
+		// Data plane: servable from a published view alone.
+		{"POST /v1/query", "POST /query", &s.met.query, s.handleQuery},
+		{"POST /v1/query/batch", "POST /query/batch", &s.met.batch, s.handleQueryBatch},
+		{"GET /v1/stats", "GET /stats", &s.met.stats, s.handleStats},
+		// Control plane: mutations and admin, authoritative daemon only.
+		{"POST /v1/peers", "POST /peers", &s.met.join, s.handleJoin},
+		{"GET /v1/peers/{id}", "GET /peers/{id}", &s.met.peerGet, s.handlePeerGet},
+		{"DELETE /v1/peers/{id}", "DELETE /peers/{id}", &s.met.leave, s.handleLeave},
+		{"POST /v1/reform", "POST /reform", &s.met.reform, s.handleReform},
+		{"POST /v1/compact", "POST /compact", &s.met.compact, s.handleCompact},
+		{"GET /v1/snapshot", "GET /snapshot", &s.met.snapshot, s.handleSnapshot},
+		{"GET /v1/view/watch", "", &s.met.watch, s.handleViewWatch},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /peers", instrument(&s.met.join, s.handleJoin))
-	mux.HandleFunc("GET /peers/{id}", instrument(&s.met.peerGet, s.handlePeerGet))
-	mux.HandleFunc("DELETE /peers/{id}", instrument(&s.met.leave, s.handleLeave))
-	mux.HandleFunc("POST /query", instrument(&s.met.query, s.handleQuery))
-	mux.HandleFunc("POST /query/batch", instrument(&s.met.batch, s.handleQueryBatch))
-	mux.HandleFunc("POST /reform", instrument(&s.met.reform, s.handleReform))
-	mux.HandleFunc("POST /compact", instrument(&s.met.compact, s.handleCompact))
-	mux.HandleFunc("GET /stats", instrument(&s.met.stats, s.handleStats))
-	mux.HandleFunc("GET /snapshot", instrument(&s.met.snapshot, s.handleSnapshot))
+	for _, rt := range routes {
+		mux.HandleFunc(rt.v1, api.Instrument(rt.m, rt.h))
+		if rt.legacy != "" {
+			mux.HandleFunc(rt.legacy, api.Instrument(rt.m, deprecated(rt.h)))
+		}
+	}
 	return mux
 }
 
-// decodeStrict decodes a JSON request body into dst, rejecting
-// unknown fields and bodies over maxBodyBytes. On failure it writes
-// the 4xx response and returns false.
-func decodeStrict(w http.ResponseWriter, r *http.Request, what string, dst any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			httpError(w, http.StatusRequestEntityTooLarge, "%s body over %d bytes", what, mbe.Limit)
-		} else {
-			httpError(w, http.StatusBadRequest, "bad %s body: %v", what, err)
-		}
-		return false
+// deprecated marks a legacy unprefixed route: same behavior, plus the
+// standard Deprecation header pointing clients at the v1 surface.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `<API.md>; rel="deprecation"`)
+		h(w, r)
 	}
-	// Exactly one JSON document per request: trailing content is as
-	// malformed as a truncated body.
-	if _, err := dec.Token(); err != io.EOF {
-		httpError(w, http.StatusBadRequest, "bad %s body: trailing data after JSON document", what)
-		return false
-	}
-	return true
 }
 
-// joinRequest is the POST /peers body.
+// The request-size limits are the api package's.
+const (
+	maxBodyBytes    = api.MaxBodyBytes
+	maxBatchQueries = api.MaxBatchQueries
+)
+
+// The data-plane wire types are the api package's; the aliases keep
+// this package's tests and callers spelled the way the handlers read.
+type (
+	queryRequest  = api.QueryRequest
+	clusterHit    = api.ClusterHit
+	queryResponse = api.QueryResponse
+	batchRequest  = api.BatchRequest
+	batchResponse = api.BatchResponse
+)
+
+// joinRequest is the POST /v1/peers body.
 type joinRequest struct {
 	// Items is the peer's shared content: one attribute-set (e.g. the
 	// distinct terms of a document) per item.
@@ -497,16 +535,16 @@ type joinResponse struct {
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
-	if !decodeStrict(w, r, "join", &req) {
+	if !api.DecodeStrict(w, r, "join", &req) {
 		return
 	}
 	for _, q := range req.Queries {
 		if len(q.Terms) == 0 {
-			httpError(w, http.StatusBadRequest, "query with no terms")
+			api.Error(w, http.StatusBadRequest, api.CodeEmptyQuery, "query with no terms")
 			return
 		}
 		if q.Count <= 0 {
-			httpError(w, http.StatusBadRequest, "query count must be positive")
+			api.Error(w, http.StatusBadRequest, api.CodeBadQueryCount, "query count must be positive")
 			return
 		}
 	}
@@ -527,7 +565,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	pid := s.eng.AddPeer(pr, queries, counts, cluster.None)
 	s.joins.Add(1)
 	s.publishLocked()
-	writeJSON(w, http.StatusCreated, joinResponse{
+	api.WriteJSON(w, http.StatusCreated, joinResponse{
 		ID:      pid,
 		Cluster: int(s.eng.Config().ClusterOf(pid)),
 		Peers:   s.eng.NumPeers(),
@@ -538,11 +576,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 func (s *Server) peerID(w http.ResponseWriter, r *http.Request) (int, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad peer id %q", r.PathValue("id"))
+		api.Error(w, http.StatusBadRequest, api.CodeBadPeerID, "bad peer id %q", r.PathValue("id"))
 		return 0, false
 	}
 	if id < 0 || id >= s.eng.NumSlots() || !s.eng.IsLive(id) {
-		httpError(w, http.StatusNotFound, "no live peer %d", id)
+		api.Error(w, http.StatusNotFound, api.CodePeerNotFound, "no live peer %d", id)
 		return 0, false
 	}
 	return id, true
@@ -555,7 +593,7 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cid := s.eng.Config().ClusterOf(id)
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"id":           id,
 		"cluster":      int(cid),
 		"cluster_size": s.eng.Config().Size(cid),
@@ -572,100 +610,104 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	s.eng.RemovePeer(id)
 	s.leaves.Add(1)
 	s.publishLocked()
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"removed": id,
 		"peers":   s.eng.NumPeers(),
 		"scost":   s.eng.SCostNormalized(),
 	})
 }
 
-// queryRequest is the POST /query body (and one element of a batch).
-type queryRequest struct {
-	Terms []string `json:"terms"`
-}
-
-type clusterHit struct {
-	Cluster int     `json:"cluster"`
-	Size    int     `json:"size"`
-	Results int     `json:"results"`
-	Recall  float64 `json:"recall"`
-}
-
-type queryResponse struct {
-	Total    int          `json:"total"`
-	Clusters []clusterHit `json:"clusters"`
-}
-
-// batchRequest is the POST /query/batch body.
-type batchRequest struct {
-	Queries []queryRequest `json:"queries"`
-}
-
-type batchResponse struct {
-	Results []queryResponse `json:"results"`
-}
-
 // handleQuery routes a query: it reports, cluster by cluster, where
 // the query's results live — the routing view a querying client uses
 // to decide which clusters to contact. It is read-only (ad-hoc
 // queries are not recorded as demand) and lock-free: the answer comes
-// entirely from the latest published read view.
+// entirely from the latest published read view, through the exact
+// code path every router replica runs (api.ServeQuery).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodeStrict(w, r, "query", &req) {
-		return
-	}
-	if len(req.Terms) == 0 {
-		httpError(w, http.StatusBadRequest, "query with no terms")
-		return
-	}
 	v := s.loadView()
-	sc := scratchPool.Get().(*queryScratch)
-	resp := answerQuery(v, req.Terms, sc)
-	writeJSON(w, http.StatusOK, resp)
-	scratchPool.Put(sc)
-	s.served.Add(1)
+	s.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing)))
 }
 
-// handleQueryBatch routes up to maxBatchQueries queries in one
+// handleQueryBatch routes up to api.MaxBatchQueries queries in one
 // request. All answers come from one published view, so the batch is
 // internally consistent even while mutations land concurrently.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	if !decodeStrict(w, r, "batch", &req) {
+	v := s.loadView()
+	s.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing)))
+}
+
+// Long-poll bounds for GET /v1/view/watch.
+const (
+	watchDefaultTimeout = 25 * time.Second
+	watchMaxTimeout     = 55 * time.Second
+)
+
+// handleViewWatch is the replication feed: a long-poll that returns
+// the wire record carrying the watcher from its (seq, pop) position
+// to the latest published view. First contact (no position) gets the
+// current full record immediately; an up-to-date watcher blocks until
+// the next publication or its timeout (204); a watcher on the same
+// population version whose base is still in the delta ring gets a
+// pure-relocation delta, anything else a full resync. Lock-free like
+// the rest of the read path.
+func (s *Server) handleViewWatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	parseU64 := func(name string) (uint64, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			return 0, true
+		}
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			api.Error(w, http.StatusBadRequest, api.CodeBadParam, "bad %s %q", name, raw)
+			return 0, false
+		}
+		return n, true
+	}
+	seq, ok := parseU64("seq")
+	if !ok {
 		return
 	}
-	if len(req.Queries) == 0 {
-		httpError(w, http.StatusBadRequest, "batch with no queries")
+	pop, ok := parseU64("pop")
+	if !ok {
 		return
 	}
-	if len(req.Queries) > maxBatchQueries {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			"batch of %d queries over the %d limit", len(req.Queries), maxBatchQueries)
-		return
+	timeout := watchDefaultTimeout
+	if raw := q.Get("timeout_ms"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			api.Error(w, http.StatusBadRequest, api.CodeBadParam, "bad timeout_ms %q", raw)
+			return
+		}
+		timeout = min(time.Duration(n)*time.Millisecond, watchMaxTimeout)
 	}
-	for i, q := range req.Queries {
-		if len(q.Terms) == 0 {
-			httpError(w, http.StatusBadRequest, "query %d with no terms", i)
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		// Load the notifier before checking state: a publication
+		// between the check and the select has already closed this
+		// channel, so the select cannot miss it.
+		n := s.notify.Load()
+		if rec := s.recordSince(seq, pop); rec != nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(rec)
+			return
+		}
+		select {
+		case <-n.ch:
+		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
 			return
 		}
 	}
-	v := s.loadView()
-	sc := scratchPool.Get().(*queryScratch)
-	results := make([]queryResponse, len(req.Queries))
-	for i := range req.Queries {
-		resp := answerQuery(v, req.Queries[i].Terms, sc)
-		resp.Clusters = append(make([]clusterHit, 0, len(resp.Clusters)), resp.Clusters...)
-		results[i] = resp
-	}
-	scratchPool.Put(sc)
-	writeJSON(w, http.StatusOK, batchResponse{Results: results})
-	s.served.Add(int64(len(req.Queries)))
 }
 
 func (s *Server) handleReform(w http.ResponseWriter, _ *http.Request) {
 	rpt := s.Reform()
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"rounds":    rpt.RoundsRun,
 		"moves":     countMoves(rpt),
 		"converged": rpt.Converged,
@@ -677,7 +719,7 @@ func (s *Server) handleReform(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
 	removed, queries, generation := s.Compact()
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"removed":     removed,
 		"queries":     queries,
 		"compactions": generation,
@@ -690,7 +732,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
 // period holds the mutation lock.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	v := s.loadView()
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"peers":             v.g.peers,
 		"slots":             v.g.slots,
 		"clusters":          v.g.clusters,
@@ -707,9 +749,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"leaves":            s.leaves.Load(),
 		"queries_served":    s.served.Load(),
 		"published_views":   s.publishes.Load(),
+		"view_seq":          v.seq,
+		"pop_version":       v.routing.PopVersion(),
+		"watch_full":        s.fullRecords.Load(),
+		"watch_delta":       s.deltaRecords.Load(),
 		"endpoints":         s.met.endpoints(),
 		"maintenance":       s.maintenanceStats(),
-		"mutation_lock":     s.met.lockHold.holdSnapshot(),
+		"mutation_lock":     s.met.lockHold.HoldSnapshot(),
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 	})
 }
@@ -750,15 +796,5 @@ func (s *Server) maintenanceStats() map[string]any {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	api.WriteJSON(w, http.StatusOK, s.Snapshot())
 }

@@ -1,40 +1,82 @@
 package service
 
 import (
-	"slices"
 	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/viewwire"
 )
 
-// This file implements the daemon's read path: an immutable readView
-// published through an atomic pointer after every mutation
-// (join/leave/reform/compact/restore), so POST /query,
-// POST /query/batch and GET /stats never take the server mutex. Each
-// request loads the latest view once and answers entirely from it —
-// snapshot isolation per request (and per batch: all queries of a
-// batch see the same view).
+// This file implements the daemon's read path and its replication
+// feed: an immutable readView published through an atomic pointer
+// after every mutation (join/leave/reform/compact/restore), so
+// POST /v1/query, POST /v1/query/batch and GET /v1/stats never take
+// the server mutex. Each request loads the latest view once and
+// answers entirely from it — snapshot isolation per request (and per
+// batch: all queries of a batch see the same view).
+//
+// Every publication also gets a monotone sequence number, is kept in a
+// small ring of recent views, and wakes the long-poll watchers of
+// GET /v1/view/watch. A watcher that is only a few publications behind
+// on the same population version receives a pure-relocation delta
+// record diffed against its own ring entry; anything else — first
+// contact, a population change, or falling further behind than the
+// ring remembers — resynchronizes with a full record. The full
+// record's wire encoding is cached per view (lazily, at most once), so
+// any number of router replicas syncing the same view share one
+// encoding.
+
+// viewRing is how many recent views delta bases are retained for. A
+// watcher further behind than this resyncs with a full record.
+const viewRing = 64
 
 // readView is one published snapshot: the term table for resolving
-// query strings, the core routing view, and the engine gauges /stats
-// reports. All fields are immutable once published.
+// query strings, the core routing view, the engine gauges /v1/stats
+// reports, and the replication metadata. All fields are immutable once
+// published (the cached wire encoding is built lazily under a Once).
 type readView struct {
+	// seq is this view's publication sequence number (monotone from 1).
+	seq uint64
 	// terms maps attribute names to IDs. The vocabulary is
 	// append-only, so the map is rebuilt only when it grew since the
 	// previous publish and shared otherwise; vocabLen records the
-	// length it covers.
+	// length it covers. names is the inverse, in vocabulary order —
+	// captured at publish time because the vocabulary is not
+	// concurrent-safe — and is what the wire encoding carries.
 	terms    map[string]attr.ID
+	names    []string
 	vocabLen int
 	routing  *core.RoutingView
 	// eng identifies the engine the routing view was built from:
-	// version-based reuse is only valid against the same engine
-	// instance (a snapshot restore swaps the engine wholesale).
+	// version-based reuse (and delta extraction between views) is only
+	// valid against the same engine instance (a snapshot restore swaps
+	// the engine wholesale).
 	eng *core.Engine
 	g   gauges
+
+	// fullOnce guards the lazily cached full-record wire encoding.
+	fullOnce sync.Once
+	fullRec  []byte
 }
 
-// gauges are the engine-derived numbers of GET /stats, captured at
+// fullRecord returns the view's cached full-record wire encoding,
+// building it on first use.
+func (v *readView) fullRecord() []byte {
+	v.fullOnce.Do(func() {
+		v.fullRec = viewwire.AppendFull(nil, v.seq, v.names, v.routing.Export())
+	})
+	return v.fullRec
+}
+
+// notifier is the broadcast channel watchers block on; publishing
+// closes the current one (after storing the new view) and installs a
+// fresh channel for the next round of watchers.
+type notifier struct {
+	ch chan struct{}
+}
+
+// gauges are the engine-derived numbers of GET /v1/stats, captured at
 // publish time. They change only at mutation boundaries, so the
 // snapshot is exact — not stale — between publishes.
 type gauges struct {
@@ -48,11 +90,13 @@ type gauges struct {
 }
 
 // publishLocked snapshots the current engine state into a fresh
-// readView and publishes it. Callers hold s.mu (or, during
-// construction, have exclusive access).
+// readView, publishes it, records it in the delta ring and wakes the
+// watchers. Callers hold s.mu (or, during construction, have
+// exclusive access).
 func (s *Server) publishLocked() {
 	prev := s.view.Load()
 	var terms map[string]attr.ID
+	var names []string
 	var prevRouting *core.RoutingView
 	if prev != nil {
 		if prev.eng == s.eng {
@@ -60,17 +104,22 @@ func (s *Server) publishLocked() {
 		}
 		if prev.vocabLen == s.vocab.Len() {
 			terms = prev.terms
+			names = prev.names
 		}
 	}
 	if terms == nil {
 		terms = make(map[string]attr.ID, s.vocab.Len())
+		names = make([]string, s.vocab.Len())
 		for id := 0; id < s.vocab.Len(); id++ {
-			terms[s.vocab.Name(attr.ID(id))] = attr.ID(id)
+			names[id] = s.vocab.Name(attr.ID(id))
+			terms[names[id]] = attr.ID(id)
 		}
 	}
-	s.publishes.Add(1)
-	s.view.Store(&readView{
+	s.viewSeq++
+	v := &readView{
+		seq:      s.viewSeq,
 		terms:    terms,
+		names:    names,
 		vocabLen: s.vocab.Len(),
 		routing:  s.eng.BuildRoutingView(prevRouting),
 		eng:      s.eng,
@@ -83,56 +132,58 @@ func (s *Server) publishLocked() {
 			scost:       s.eng.SCostNormalized(),
 			wcost:       s.eng.WCostNormalized(),
 		},
-	})
+	}
+	s.ringMu.Lock()
+	s.ring[v.seq%viewRing] = v
+	s.ringMu.Unlock()
+	s.publishes.Add(1)
+	// Order matters for watchers: the view must be visible before the
+	// wake-up, so a woken watcher always observes seq >= the
+	// publication that woke it.
+	s.view.Store(v)
+	next := &notifier{ch: make(chan struct{})}
+	if old := s.notify.Swap(next); old != nil {
+		close(old.ch)
+	}
 }
 
 // loadView returns the latest published view (never nil: New and
 // NewFromSnapshot publish before serving).
 func (s *Server) loadView() *readView { return s.view.Load() }
 
-// queryScratch bundles the reusable buffers of one in-flight query
-// request; a sync.Pool recycles them across requests so the hot read
-// path allocates only what the HTTP layer itself requires.
-type queryScratch struct {
-	route core.RouteScratch
-	ids   []attr.ID
-	hits  []clusterHit
+// ringView returns the retained view with the given sequence number,
+// or nil if the ring has moved past it.
+func (s *Server) ringView(seq uint64) *readView {
+	s.ringMu.Lock()
+	v := s.ring[seq%viewRing]
+	s.ringMu.Unlock()
+	if v == nil || v.seq != seq {
+		return nil
+	}
+	return v
 }
 
-var scratchPool = sync.Pool{
-	New: func() any {
-		// hits must start non-nil: an empty answer marshals as [].
-		return &queryScratch{hits: make([]clusterHit, 0, 8)}
-	},
-}
-
-// answerQuery evaluates terms against the view and returns the
-// routing answer. The response's Clusters slice aliases sc.hits and
-// is valid until sc's next use; callers that retain answers (the
-// batch handler) copy it out. Unknown terms cannot match anything
-// (items only contain interned attributes), so any unknown term
-// yields the empty answer.
-func answerQuery(v *readView, terms []string, sc *queryScratch) queryResponse {
-	sc.ids = sc.ids[:0]
-	for _, t := range terms {
-		id, ok := v.terms[t]
-		if !ok {
-			sc.hits = sc.hits[:0]
-			return queryResponse{Clusters: sc.hits}
+// recordSince renders the wire record that carries a watcher from
+// (seq, pop) to the latest view, or nil when the watcher is already
+// current. A delta record is possible exactly when the watcher's base
+// view is still in the ring, belongs to the same engine, and shares
+// the latest view's population version — i.e. everything since the
+// base was pure relocation; everything else falls back to a full
+// record.
+func (s *Server) recordSince(seq, pop uint64) []byte {
+	cur := s.loadView()
+	if cur.seq == seq && cur.routing.PopVersion() == pop {
+		return nil
+	}
+	if base := s.ringView(seq); base != nil &&
+		base.eng == cur.eng &&
+		base.routing.PopVersion() == pop &&
+		cur.routing.PopVersion() == pop {
+		if moves, ok := cur.routing.DiffFrom(base.routing); ok {
+			s.deltaRecords.Add(1)
+			return viewwire.AppendDelta(nil, cur.seq, pop, moves)
 		}
-		sc.ids = append(sc.ids, id)
 	}
-	slices.Sort(sc.ids)
-	q := attr.FromSorted(slices.Compact(sc.ids))
-	total, hits := v.routing.Route(q, &sc.route)
-	sc.hits = sc.hits[:0]
-	for _, h := range hits {
-		sc.hits = append(sc.hits, clusterHit{
-			Cluster: int(h.Cluster),
-			Size:    h.Size,
-			Results: h.Results,
-			Recall:  float64(h.Results) / float64(total),
-		})
-	}
-	return queryResponse{Total: total, Clusters: sc.hits}
+	s.fullRecords.Add(1)
+	return cur.fullRecord()
 }

@@ -1,0 +1,429 @@
+// Package viewwire is the versioned wire encoding of the routing-view
+// replication protocol: the byte records the authoritative serving
+// daemon streams over GET /v1/view/watch and a stateless router
+// replica decodes to maintain its local core.RoutingView.
+//
+// Two record kinds share a common header:
+//
+//	magic "RV" | format version (1) | kind | seq uvarint | ...
+//
+// A FULL record carries everything a replica needs to serve queries
+// from scratch: the term table (attribute names in vocabulary order,
+// so the replica can resolve query strings to the engine's attribute
+// IDs), every slot's content items, the slot -> cluster assignment,
+// the per-cluster sizes, and the content posting lists. A DELTA
+// record carries only a pure-relocation diff — (slot, new cluster)
+// pairs — and is valid against exactly the population version it
+// names: relocations are the only mutation the paper's reformulation
+// protocol performs between membership events, so a maintenance
+// period's republish is a few bytes per granted move instead of a
+// full snapshot. Any population change (join, leave, restore) bumps
+// popVersion and forces the subscriber to resynchronize with a FULL
+// record; seq is the publisher's monotone view sequence number and
+// totally orders records from one publisher.
+//
+// All integers are unsigned varints. Sorted ID lists (item attribute
+// sets) are gap-encoded; the decoder is strict — unknown versions,
+// non-positive gaps, counts that cannot fit the remaining input,
+// inconsistent sizes, trailing bytes and truncations are all errors,
+// never panics or unbounded allocations — so a replica can feed it
+// untrusted bytes (pinned by FuzzViewWire).
+package viewwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Kind discriminates the record types of the protocol.
+type Kind byte
+
+const (
+	// KindFull is a complete view snapshot.
+	KindFull Kind = 1
+	// KindDelta is a pure-relocation diff against the same popVersion.
+	KindDelta Kind = 2
+)
+
+// FormatVersion is the wire format this package speaks. Bump on any
+// incompatible layout change; decoders reject other versions.
+const FormatVersion = 1
+
+// magic opens every record.
+var magic = [2]byte{'R', 'V'}
+
+// Record is one decoded protocol record.
+type Record struct {
+	Kind Kind
+	// Seq is the publisher's monotone view sequence number.
+	Seq uint64
+	// PopVersion is the population version the record belongs to (for
+	// a full record it equals View.PopVersion).
+	PopVersion uint64
+
+	// Terms and View are set for KindFull: the attribute names in
+	// vocabulary order and the full routing state.
+	Terms []string
+	View  core.ViewData
+
+	// Moves is set for KindDelta (possibly empty: a republish that
+	// relocated nothing, e.g. after a workload compaction).
+	Moves []core.SlotMove
+}
+
+func appendHeader(dst []byte, kind Kind, seq uint64) []byte {
+	dst = append(dst, magic[0], magic[1], FormatVersion, byte(kind))
+	return binary.AppendUvarint(dst, seq)
+}
+
+// AppendFull encodes a full-view record onto dst and returns the
+// extended slice. terms must be the attribute names in vocabulary
+// order covering every attribute ID appearing in d.
+func AppendFull(dst []byte, seq uint64, terms []string, d core.ViewData) []byte {
+	dst = appendHeader(dst, KindFull, seq)
+	dst = binary.AppendUvarint(dst, d.PopVersion)
+
+	dst = binary.AppendUvarint(dst, uint64(len(terms)))
+	for _, t := range terms {
+		dst = binary.AppendUvarint(dst, uint64(len(t)))
+		dst = append(dst, t...)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(d.ClusterOf)))
+	for slot, items := range d.Items {
+		if d.ClusterOf[slot] == cluster.None {
+			dst = binary.AppendUvarint(dst, 0)
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(items))+1)
+		for _, it := range items {
+			ids := it.IDs()
+			dst = binary.AppendUvarint(dst, uint64(len(ids)))
+			prev := attr.ID(0)
+			for i, id := range ids {
+				if i == 0 {
+					dst = binary.AppendUvarint(dst, uint64(id))
+				} else {
+					dst = binary.AppendUvarint(dst, uint64(id-prev))
+				}
+				prev = id
+			}
+		}
+	}
+	for _, c := range d.ClusterOf {
+		dst = binary.AppendUvarint(dst, uint64(c)+1) // None (-1) -> 0
+	}
+
+	// Per-cluster sizes, derived from the assignment: redundant on the
+	// wire, verified by the decoder — a cheap end-to-end integrity
+	// check on the record.
+	sizes := deriveSizes(d.ClusterOf)
+	dst = binary.AppendUvarint(dst, uint64(len(sizes)))
+	for _, n := range sizes {
+		dst = binary.AppendUvarint(dst, uint64(n))
+	}
+
+	attrs := make([]attr.ID, 0, len(d.Postings))
+	for a := range d.Postings {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
+		lst := d.Postings[a]
+		dst = binary.AppendUvarint(dst, uint64(a))
+		dst = binary.AppendUvarint(dst, uint64(len(lst)))
+		for _, pid := range lst {
+			dst = binary.AppendUvarint(dst, uint64(pid))
+		}
+	}
+	return dst
+}
+
+// AppendDelta encodes a pure-relocation record onto dst and returns
+// the extended slice.
+func AppendDelta(dst []byte, seq, popVersion uint64, moves []core.SlotMove) []byte {
+	dst = appendHeader(dst, KindDelta, seq)
+	dst = binary.AppendUvarint(dst, popVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(moves)))
+	for _, m := range moves {
+		dst = binary.AppendUvarint(dst, uint64(m.Slot))
+		dst = binary.AppendUvarint(dst, uint64(m.To))
+	}
+	return dst
+}
+
+func deriveSizes(clusterOf []cluster.CID) []int {
+	maxC := -1
+	for _, c := range clusterOf {
+		if int(c) > maxC {
+			maxC = int(c)
+		}
+	}
+	sizes := make([]int, maxC+1)
+	for _, c := range clusterOf {
+		if c != cluster.None {
+			sizes[c]++
+		}
+	}
+	return sizes
+}
+
+// reader walks a record with strict bounds checking.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+var errTruncated = errors.New("viewwire: truncated record")
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+// count reads a uvarint element count whose elements each occupy at
+// least min encoded bytes, rejecting counts the remaining input
+// cannot possibly hold — the guard that keeps hostile lengths from
+// turning into unbounded allocations.
+func (r *reader) count(min int, what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if rem := len(r.data) - r.pos; v > uint64(rem/min)+1 && v > uint64(rem) {
+		return 0, fmt.Errorf("viewwire: %s count %d exceeds remaining input", what, v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.data)-r.pos < n {
+		return nil, errTruncated
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// Decode parses one record from data. The whole input must be exactly
+// one record; trailing bytes are an error. Full records are
+// structurally validated (assignment/content slot parity, sorted item
+// sets, size table consistency) but not semantically checked against
+// the peer contents — pair with core.FromViewData, which validates
+// the posting lists, before serving from the result.
+func Decode(data []byte) (Record, error) {
+	r := &reader{data: data}
+	hdr, err := r.bytes(4)
+	if err != nil {
+		return Record{}, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return Record{}, fmt.Errorf("viewwire: bad magic %q", hdr[:2])
+	}
+	if hdr[2] != FormatVersion {
+		return Record{}, fmt.Errorf("viewwire: unsupported format version %d (speaking %d)", hdr[2], FormatVersion)
+	}
+	rec := Record{Kind: Kind(hdr[3])}
+	if rec.Seq, err = r.uvarint(); err != nil {
+		return Record{}, err
+	}
+	switch rec.Kind {
+	case KindFull:
+		err = decodeFull(r, &rec)
+	case KindDelta:
+		err = decodeDelta(r, &rec)
+	default:
+		return Record{}, fmt.Errorf("viewwire: unknown record kind %d", rec.Kind)
+	}
+	if err != nil {
+		return Record{}, err
+	}
+	if r.pos != len(r.data) {
+		return Record{}, fmt.Errorf("viewwire: %d trailing bytes after record", len(r.data)-r.pos)
+	}
+	return rec, nil
+}
+
+func decodeFull(r *reader, rec *Record) error {
+	var err error
+	if rec.PopVersion, err = r.uvarint(); err != nil {
+		return err
+	}
+	rec.View.PopVersion = rec.PopVersion
+
+	numTerms, err := r.count(1, "term")
+	if err != nil {
+		return err
+	}
+	rec.Terms = make([]string, numTerms)
+	for i := range rec.Terms {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		rec.Terms[i] = string(b)
+	}
+
+	slots, err := r.count(1, "slot")
+	if err != nil {
+		return err
+	}
+	rec.View.Items = make([][]attr.Set, slots)
+	occupied := make([]bool, slots)
+	for slot := 0; slot < slots; slot++ {
+		tag, err := r.count(1, "item")
+		if err != nil {
+			return err
+		}
+		if tag == 0 {
+			continue // unoccupied slot
+		}
+		occupied[slot] = true
+		items := make([]attr.Set, 0, tag-1)
+		for k := 0; k < tag-1; k++ {
+			n, err := r.count(1, "item id")
+			if err != nil {
+				return err
+			}
+			ids := make([]attr.ID, 0, n)
+			prev := int64(-1)
+			for j := 0; j < n; j++ {
+				v, err := r.uvarint()
+				if err != nil {
+					return err
+				}
+				var id int64
+				if j == 0 {
+					id = int64(v)
+				} else {
+					if v == 0 {
+						return fmt.Errorf("viewwire: slot %d item %d: non-increasing attribute ids", slot, k)
+					}
+					id = prev + int64(v)
+				}
+				if id > int64(1)<<31-1 || (len(rec.Terms) > 0 && id >= int64(len(rec.Terms))) {
+					return fmt.Errorf("viewwire: slot %d item %d: attribute id %d out of range", slot, k, id)
+				}
+				ids = append(ids, attr.ID(id))
+				prev = id
+			}
+			items = append(items, attr.FromSorted(ids))
+		}
+		rec.View.Items[slot] = items
+	}
+
+	rec.View.ClusterOf = make([]cluster.CID, slots)
+	for slot := 0; slot < slots; slot++ {
+		v, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if v > uint64(1)<<31 {
+			return fmt.Errorf("viewwire: slot %d: cluster id %d out of range", slot, v)
+		}
+		c := cluster.CID(int64(v) - 1) // 0 -> None
+		if (c == cluster.None) == occupied[slot] {
+			return fmt.Errorf("viewwire: slot %d: occupancy disagrees between content and assignment", slot)
+		}
+		rec.View.ClusterOf[slot] = c
+	}
+
+	numSizes, err := r.count(1, "size")
+	if err != nil {
+		return err
+	}
+	sizes := make([]int, numSizes)
+	for i := range sizes {
+		v, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		sizes[i] = int(v)
+	}
+	derived := deriveSizes(rec.View.ClusterOf)
+	if len(derived) != len(sizes) {
+		return fmt.Errorf("viewwire: size table has %d clusters, assignment implies %d", len(sizes), len(derived))
+	}
+	for c := range sizes {
+		if sizes[c] != derived[c] {
+			return fmt.Errorf("viewwire: cluster %d size %d disagrees with assignment (%d)", c, sizes[c], derived[c])
+		}
+	}
+
+	numAttrs, err := r.count(2, "posting")
+	if err != nil {
+		return err
+	}
+	rec.View.Postings = make(map[attr.ID][]int32, numAttrs)
+	for i := 0; i < numAttrs; i++ {
+		a, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if a > uint64(1)<<31-1 {
+			return fmt.Errorf("viewwire: posting attribute id %d out of range", a)
+		}
+		n, err := r.count(1, "posting entry")
+		if err != nil {
+			return err
+		}
+		lst := make([]int32, 0, n)
+		for j := 0; j < n; j++ {
+			pid, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if pid >= uint64(slots) {
+				return fmt.Errorf("viewwire: posting of attr %d names slot %d of %d", a, pid, slots)
+			}
+			lst = append(lst, int32(pid))
+		}
+		if _, dup := rec.View.Postings[attr.ID(a)]; dup {
+			return fmt.Errorf("viewwire: duplicate posting list for attr %d", a)
+		}
+		rec.View.Postings[attr.ID(a)] = lst
+	}
+	return nil
+}
+
+func decodeDelta(r *reader, rec *Record) error {
+	var err error
+	if rec.PopVersion, err = r.uvarint(); err != nil {
+		return err
+	}
+	n, err := r.count(2, "move")
+	if err != nil {
+		return err
+	}
+	rec.Moves = make([]core.SlotMove, 0, n)
+	for i := 0; i < n; i++ {
+		slot, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		to, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if slot > uint64(1)<<31-1 || to > uint64(1)<<31-1 {
+			return fmt.Errorf("viewwire: move %d out of range (slot %d, to %d)", i, slot, to)
+		}
+		rec.Moves = append(rec.Moves, core.SlotMove{Slot: int32(slot), To: cluster.CID(to)})
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package viewwire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// wireSystem builds a small churned engine plus the vocabulary-order
+// term table a publisher would capture, mirroring the serving daemon.
+func wireSystem(t testing.TB, n, v int, seed uint64) (*core.Engine, []string) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	vocab := attr.NewVocab()
+	ids := make([]attr.ID, v)
+	names := make([]string, v)
+	for i := range ids {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ids[i] = vocab.Intern(names[i])
+	}
+	peers := make([]*peer.Peer, n)
+	wl := workload.New(n)
+	for i := 0; i < n; i++ {
+		p := peer.New(i)
+		items := make([]attr.Set, 0, 3)
+		for d := 0; d < 3; d++ {
+			items = append(items, attr.NewSet(ids[rng.Intn(v)], ids[rng.Intn(v)]))
+		}
+		p.SetItems(items)
+		peers[i] = p
+		wl.Add(i, attr.NewSet(ids[rng.Intn(v)]), 1+rng.Intn(4))
+	}
+	e := core.New(peers, wl, cluster.NewSingletons(n), cluster.LinearTheta(), 1)
+	for p := 0; p < n; p++ {
+		e.Move(p, cluster.CID(rng.Intn(1+n/3)))
+	}
+	return e, names
+}
+
+func wireQueries(v int, rng *stats.RNG) []attr.Set {
+	qs := []attr.Set{{}, attr.NewSet(attr.ID(1 << 20))}
+	for i := 0; i < 16; i++ {
+		qs = append(qs, attr.NewSet(attr.ID(rng.Intn(v)), attr.ID(rng.Intn(v))))
+	}
+	return qs
+}
+
+func checkSameAnswers(t *testing.T, want, got *core.RoutingView, qs []attr.Set, label string) {
+	t.Helper()
+	var scW, scG core.RouteScratch
+	for i, q := range qs {
+		wantTotal, wantHits := want.Route(q, &scW)
+		gotTotal, gotHits := got.Route(q, &scG)
+		same := gotTotal == wantTotal && len(gotHits) == len(wantHits)
+		for j := 0; same && j < len(wantHits); j++ {
+			same = gotHits[j] == wantHits[j]
+		}
+		if !same {
+			t.Fatalf("%s: query %d: (%d, %v) != (%d, %v)", label, i, gotTotal, gotHits, wantTotal, wantHits)
+		}
+	}
+}
+
+// TestWireFullRoundTrip pins the full-record path end to end: encode
+// is deterministic, decode recovers header, terms and a view that
+// answers every query exactly like the original — including across
+// populations with unoccupied slots.
+func TestWireFullRoundTrip(t *testing.T) {
+	e, names := wireSystem(t, 24, 12, 97)
+	e.RemovePeer(5)
+	e.RemovePeer(17)
+	v := e.BuildRoutingView(nil)
+
+	enc := AppendFull(nil, 42, names, v.Export())
+	if again := AppendFull(nil, 42, names, v.Export()); !bytes.Equal(enc, again) {
+		t.Fatal("AppendFull is not deterministic for the same view")
+	}
+
+	rec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != KindFull || rec.Seq != 42 || rec.PopVersion != v.PopVersion() {
+		t.Fatalf("header: kind %d seq %d pop %d, want full/42/%d", rec.Kind, rec.Seq, rec.PopVersion, v.PopVersion())
+	}
+	if len(rec.Terms) != len(names) {
+		t.Fatalf("terms: %d != %d", len(rec.Terms), len(names))
+	}
+	for i := range names {
+		if rec.Terms[i] != names[i] {
+			t.Fatalf("term %d: %q != %q", i, rec.Terms[i], names[i])
+		}
+	}
+	got, err := core.FromViewData(rec.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Live() != v.Live() || got.Slots() != v.Slots() {
+		t.Fatalf("decoded view shape: live %d/%d slots %d/%d", got.Live(), v.Live(), got.Slots(), v.Slots())
+	}
+	checkSameAnswers(t, v, got, wireQueries(12, stats.NewRNG(7)), "decoded full record")
+}
+
+// TestWireDeltaRoundTrip pins the delta-record path, including the
+// empty republish.
+func TestWireDeltaRoundTrip(t *testing.T) {
+	moves := []core.SlotMove{{Slot: 3, To: 0}, {Slot: 19, To: 7}, {Slot: 0, To: 2}}
+	rec, err := Decode(AppendDelta(nil, 9, 4, moves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != KindDelta || rec.Seq != 9 || rec.PopVersion != 4 || len(rec.Moves) != len(moves) {
+		t.Fatalf("header: %+v", rec)
+	}
+	for i, m := range moves {
+		if rec.Moves[i] != m {
+			t.Fatalf("move %d: %v != %v", i, rec.Moves[i], m)
+		}
+	}
+	rec, err = Decode(AppendDelta(nil, 10, 4, nil))
+	if err != nil || len(rec.Moves) != 0 {
+		t.Fatalf("empty delta: %v, %+v", err, rec)
+	}
+}
+
+// TestWireDeltaCarriesFollower pins the protocol's point: a follower
+// that applies a decoded delta to its decoded full view answers like
+// the authoritative successor.
+func TestWireDeltaCarriesFollower(t *testing.T) {
+	e, names := wireSystem(t, 20, 10, 131)
+	rng := stats.NewRNG(19)
+	v1 := e.BuildRoutingView(nil)
+	rec, err := Decode(AppendFull(nil, 1, names, v1.Export()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := core.FromViewData(rec.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := wireQueries(10, rng)
+	for step := 0; step < 6; step++ {
+		for k := 0; k < 3; k++ {
+			e.Move(rng.Intn(20), cluster.CID(rng.Intn(e.Config().Cmax())))
+		}
+		v2 := e.BuildRoutingView(v1)
+		moves, ok := v2.DiffFrom(v1)
+		if !ok {
+			t.Fatalf("step %d: expected pure-relocation delta", step)
+		}
+		drec, err := Decode(AppendDelta(nil, uint64(2+step), v2.PopVersion(), moves))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drec.PopVersion != follower.PopVersion() {
+			t.Fatalf("step %d: delta pop %d vs follower %d", step, drec.PopVersion, follower.PopVersion())
+		}
+		follower, err = follower.ApplyMoves(drec.Moves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSameAnswers(t, v2, follower, qs, "wire follower")
+		v1 = v2
+	}
+}
+
+// TestWireDecodeRejects pins the strict decoder: corrupt and
+// truncated records are errors, never panics.
+func TestWireDecodeRejects(t *testing.T) {
+	e, names := wireSystem(t, 8, 6, 151)
+	full := AppendFull(nil, 3, names, e.BuildRoutingView(nil).Export())
+	delta := AppendDelta(nil, 4, 1, []core.SlotMove{{Slot: 1, To: 0}})
+
+	// Every strict prefix of a valid record must fail cleanly.
+	for _, rec := range [][]byte{full, delta} {
+		for n := 0; n < len(rec); n++ {
+			if _, err := Decode(rec[:n]); err == nil {
+				t.Fatalf("decode accepted %d-byte truncation of a %d-byte record", n, len(rec))
+			}
+		}
+	}
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		return mutate(append([]byte(nil), full...))
+	}
+	cases := map[string][]byte{
+		"bad magic":      corrupt(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":    corrupt(func(b []byte) []byte { b[2] = 99; return b }),
+		"unknown kind":   corrupt(func(b []byte) []byte { b[3] = 7; return b }),
+		"trailing bytes": append(append([]byte(nil), delta...), 0),
+		"huge count":     append(append([]byte(nil), delta[:len(delta)-3]...), 0xFF, 0xFF, 0x7F),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt record", name)
+		}
+	}
+}
+
+// FuzzViewWire throws arbitrary bytes at the decoder and, whenever a
+// record survives, at the full validation + re-encode cycle: nothing
+// may panic, and decode(encode(decode(x))) must agree with decode(x).
+func FuzzViewWire(f *testing.F) {
+	e, names := wireSystem(f, 12, 8, 211)
+	e.RemovePeer(4)
+	v := e.BuildRoutingView(nil)
+	f.Add(AppendFull(nil, 5, names, v.Export()))
+	f.Add(AppendDelta(nil, 6, v.PopVersion(), []core.SlotMove{{Slot: 0, To: 1}, {Slot: 7, To: 0}}))
+	f.Add(AppendDelta(nil, 7, v.PopVersion(), nil))
+	f.Add([]byte("RV"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		switch rec.Kind {
+		case KindFull:
+			view, err := core.FromViewData(rec.View)
+			if err != nil {
+				return // structurally valid wire bytes, semantically rejected
+			}
+			var sc core.RouteScratch
+			view.Route(attr.NewSet(0, 3), &sc)
+			reenc := AppendFull(nil, rec.Seq, rec.Terms, view.Export())
+			rec2, err := Decode(reenc)
+			if err != nil {
+				t.Fatalf("re-encode of accepted record does not decode: %v", err)
+			}
+			if rec2.Seq != rec.Seq || rec2.PopVersion != rec.PopVersion ||
+				len(rec2.Terms) != len(rec.Terms) || len(rec2.View.ClusterOf) != len(rec.View.ClusterOf) {
+				t.Fatalf("re-encode changed the record: %+v vs %+v", rec2, rec)
+			}
+		case KindDelta:
+			reenc := AppendDelta(nil, rec.Seq, rec.PopVersion, rec.Moves)
+			rec2, err := Decode(reenc)
+			if err != nil || rec2.Seq != rec.Seq || rec2.PopVersion != rec.PopVersion || len(rec2.Moves) != len(rec.Moves) {
+				t.Fatalf("delta re-encode diverged: %v, %+v vs %+v", err, rec2, rec)
+			}
+		}
+	})
+}
