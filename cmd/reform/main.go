@@ -11,8 +11,10 @@
 //	reform bench -o BENCH.json     # machine-readable microbenchmarks
 //	reform bench -baseline B.json  # fail on hot-path regressions vs B.json
 //	reform serve -addr :8080       # long-running join/leave/query daemon
+//	reform serve -join URL         # follower replica of a running leader
 //	reform route -upstream URL     # stateless query-router replica
 //	reform loadtest -workers 8     # load-generate against the daemon
+//	reform cluster                 # 3-node failover smoke test (kills the leader)
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
 // epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
@@ -64,6 +66,9 @@ func main() {
 			return
 		case "serve":
 			runServeCommand(os.Args[2:])
+			return
+		case "cluster":
+			runClusterCommand(os.Args[2:])
 			return
 		case "route":
 			runRouteCommand(os.Args[2:])

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -23,14 +24,20 @@ import (
 func runRouteCommand(args []string) {
 	fs := flag.NewFlagSet("route", flag.ExitOnError)
 	addr := fs.String("addr", ":8081", "listen address")
-	upstream := fs.String("upstream", "http://localhost:8080", "authoritative daemon base URL")
+	upstream := fs.String("upstream", "http://localhost:8080", "comma-separated daemon base URLs; the sync loop rotates to the next on failure")
 	pollTimeout := fs.Duration("poll-timeout", 25*time.Second, "watch long-poll timeout requested upstream")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff between failed syncs and the Retry-After advertised while unsynchronized")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "reform-route ", log.LstdFlags)
+	var upstreams []string
+	for _, u := range strings.Split(*upstream, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			upstreams = append(upstreams, strings.TrimRight(u, "/"))
+		}
+	}
 	rt := router.New(router.Config{
-		Upstream:    *upstream,
+		Upstreams:   upstreams,
 		PollTimeout: *pollTimeout,
 		RetryAfter:  *retryAfter,
 		Logf:        logger.Printf,

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 func runServeCommand(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	join := fs.String("join", "", "comma-separated upstream base URLs; runs this node as a follower replicating the leader's mutation log (empty: standalone leader)")
 	alpha := fs.Float64("alpha", 1, "membership-cost weight α")
 	epsilon := fs.Float64("epsilon", 0.001, "reformulation gain threshold ε")
 	maxRounds := fs.Int("max-rounds", 300, "rounds per maintenance period")
@@ -62,6 +64,13 @@ func runServeCommand(args []string) {
 		CompactMinQueries: *compactMin,
 		Logf:              logger.Printf,
 	}
+	if *join != "" {
+		for _, u := range strings.Split(*join, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.Join = append(cfg.Join, strings.TrimRight(u, "/"))
+			}
+		}
+	}
 
 	var srv *service.Server
 	if *snapshot != "" {
@@ -85,7 +94,11 @@ func runServeCommand(args []string) {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	go func() {
-		logger.Printf("listening on %s (reform every %s)", *addr, *reformEvery)
+		role := "leader"
+		if len(cfg.Join) > 0 {
+			role = fmt.Sprintf("follower of %s", strings.Join(cfg.Join, ", "))
+		}
+		logger.Printf("listening on %s as %s (reform every %s)", *addr, role, *reformEvery)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Fatalf("listen: %v", err)
 		}
@@ -93,6 +106,10 @@ func runServeCommand(args []string) {
 
 	<-ctx.Done()
 	logger.Printf("shutting down")
+	// Wake parked long-poll watchers (they answer 204) before asking
+	// the HTTP server to drain, or graceful shutdown would wait out
+	// every watcher's full timeout.
+	srv.BeginShutdown()
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shutdownCancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -67,6 +67,10 @@ const (
 	CodePeerNotFound = "peer_not_found"
 	// CodeBadParam: a query-string parameter is malformed.
 	CodeBadParam = "bad_param"
+	// CodeNotLeader: a control-plane mutation hit a follower that knows
+	// no live leader to redirect to (a follower that does know its
+	// leader answers 307 with a Location header instead).
+	CodeNotLeader = "not_leader"
 	// CodeNotReady: a router replica has no synchronized view yet
 	// (503; retry after the Retry-After header).
 	CodeNotReady = "not_ready"

@@ -620,3 +620,49 @@ func (e *Engine) RemovePeer(pid int) {
 	e.cfgVersion = e.cfg.MembershipVersion()
 	e.popVersion++
 }
+
+// FreeSlots returns the vacated-slot stack: AddPeer reuses the LAST
+// element first. The slice aliases engine storage — callers must not
+// mutate or retain it across mutations.
+func (e *Engine) FreeSlots() []int { return e.free }
+
+// PopVersion returns the population/content version counter (see
+// RoutingView.PopVersion).
+func (e *Engine) PopVersion() uint64 { return e.popVersion }
+
+// SetPopVersion overwrites the population/content version counter. It
+// exists for replication catch-up: a follower restoring a leader's
+// state must number its published views exactly as the leader does, or
+// the two nodes' views for identical states would disagree.
+func (e *Engine) SetPopVersion(v uint64) { e.popVersion = v }
+
+// SetFreeSlots installs a vacated-slot stack, overriding the rebuild
+// default (ascending pop order). Replication needs it: slot reuse is
+// part of the deterministic history a follower replays, and a follower
+// restored from a state snapshot must pop future slots in the order
+// the leader will — the leader's stack is vacancy-ordered, which no
+// rebuild of the snapshot can reconstruct. The stack must name exactly
+// the vacant slots, each once.
+func (e *Engine) SetFreeSlots(stack []int) error {
+	vacant := 0
+	for _, p := range e.peers {
+		if p == nil {
+			vacant++
+		}
+	}
+	if len(stack) != vacant {
+		return fmt.Errorf("core: free stack names %d slots, engine has %d vacant", len(stack), vacant)
+	}
+	seen := make(map[int]bool, len(stack))
+	for _, pid := range stack {
+		if pid < 0 || pid >= e.n || e.peers[pid] != nil {
+			return fmt.Errorf("core: free stack names non-vacant slot %d", pid)
+		}
+		if seen[pid] {
+			return fmt.Errorf("core: free stack repeats slot %d", pid)
+		}
+		seen[pid] = true
+	}
+	e.free = append(e.free[:0], stack...)
+	return nil
+}

@@ -260,6 +260,32 @@ func (p *Period) Report() Report { return p.rpt }
 // read view on.
 func (p *Period) Moves() int { return p.granted + len(p.cur.Moves) }
 
+// AppendGrantsSince appends the relocations granted after the first n
+// — in grant order, across round boundaries — onto dst and returns it.
+// n is a cursor in the flat sequence Moves() counts, which is how a
+// serving layer drains each step's grants exactly once (replication
+// logs them as they happen). The appended Requests carry the resolved
+// target cluster: serve rewrites To before recording a move, so a
+// NewCluster request appears here with the concrete cluster it opened.
+// Only grants still enumerable are returned; an aborted round's
+// in-flight moves are counted by Moves but no longer walkable, so
+// drain before Abort.
+func (p *Period) AppendGrantsSince(dst []Request, n int) []Request {
+	for i := range p.rpt.Rounds {
+		moves := p.rpt.Rounds[i].Moves
+		if n >= len(moves) {
+			n -= len(moves)
+			continue
+		}
+		dst = append(dst, moves[n:]...)
+		n = 0
+	}
+	if n < len(p.cur.Moves) {
+		dst = append(dst, p.cur.Moves[n:]...)
+	}
+	return dst
+}
+
 // Progress describes how far an in-progress period has advanced.
 type Progress struct {
 	// Round is the 1-based current round (the last one when done).

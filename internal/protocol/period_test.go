@@ -420,3 +420,48 @@ func TestBeginSupersededHandleStaysFrozen(t *testing.T) {
 		t.Fatal("finished period's storage was not recycled")
 	}
 }
+
+// TestPeriodAppendGrantsSince pins the drain cursor a replicating
+// serving layer relies on: draining after every step — any budget —
+// yields each granted move exactly once, in grant order, identical to
+// the finished report's concatenated round moves, and every drained
+// request carries a concrete resolved target (no NewCluster
+// placeholders).
+func TestPeriodAppendGrantsSince(t *testing.T) {
+	want := func() []Request {
+		r := NewRunner(grouped(t, 4, 6), core.NewSelfish(),
+			Options{Epsilon: 0.001, MaxRounds: 100, AllowNewClusters: true})
+		rpt := stepped(r, 0)
+		var all []Request
+		for _, rd := range rpt.Rounds {
+			all = append(all, rd.Moves...)
+		}
+		return all
+	}()
+	if len(want) == 0 {
+		t.Fatal("scenario granted no moves; test is vacuous")
+	}
+	for _, budget := range []int{1, 2, 5, 17} {
+		r := NewRunner(grouped(t, 4, 6), core.NewSelfish(),
+			Options{Epsilon: 0.001, MaxRounds: 100, AllowNewClusters: true})
+		p := r.Begin()
+		var drained []Request
+		for done := false; !done; {
+			done = p.Step(budget)
+			if n := p.Moves(); n > len(drained) {
+				drained = p.AppendGrantsSince(drained, len(drained))
+				if len(drained) != n {
+					t.Fatalf("budget=%d: drained %d, Moves() says %d", budget, len(drained), n)
+				}
+			}
+		}
+		if !reflect.DeepEqual(drained, want) {
+			t.Fatalf("budget=%d: drained grants differ from report moves:\n got %+v\nwant %+v", budget, drained, want)
+		}
+		for i, g := range drained {
+			if g.NewCluster && g.To == g.From {
+				t.Fatalf("budget=%d: grant %d unresolved new-cluster target: %+v", budget, i, g)
+			}
+		}
+	}
+}

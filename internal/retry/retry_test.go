@@ -1,0 +1,112 @@
+package retry
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowsAndCaps pins the exponential envelope: every delay
+// lies in [cur/2, cur], the ceiling doubles per failure, and the cap
+// holds.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	ceil := 10 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		d := b.Next(0)
+		if d < ceil/2 || d > ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, ceil/2, ceil)
+		}
+		ceil *= 2
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		if got := b.Current(); got != ceil {
+			t.Fatalf("attempt %d: ceiling %v, want %v", i, got, ceil)
+		}
+	}
+}
+
+// TestBackoffResets pins that a success drops the ceiling back to base.
+func TestBackoffResets(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, time.Second, 7)
+	for i := 0; i < 5; i++ {
+		b.Next(0)
+	}
+	if b.Current() == 10*time.Millisecond {
+		t.Fatal("ceiling never grew")
+	}
+	b.Reset()
+	if got := b.Current(); got != 10*time.Millisecond {
+		t.Fatalf("after reset ceiling %v, want base", got)
+	}
+	if d := b.Next(0); d > 10*time.Millisecond {
+		t.Fatalf("first post-reset delay %v exceeds base", d)
+	}
+}
+
+// TestBackoffJitterSpreadsReplicas pins the herd-breaking property:
+// two policies with different seeds do not produce identical delay
+// sequences.
+func TestBackoffJitterSpreadsReplicas(t *testing.T) {
+	a := NewBackoff(64*time.Millisecond, time.Second, 1)
+	b := NewBackoff(64*time.Millisecond, time.Second, 2)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next(0) != b.Next(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced identical delay sequences")
+	}
+}
+
+// TestBackoffHonorsHint pins that a longer upstream Retry-After
+// overrides the jittered delay, and a shorter one does not shrink it.
+func TestBackoffHonorsHint(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 3)
+	if d := b.Next(2 * time.Second); d != 2*time.Second {
+		t.Fatalf("delay %v, want the 2s hint", d)
+	}
+	// The ceiling still advanced; a zero hint falls back to jitter.
+	if d := b.Next(time.Nanosecond); d < 10*time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("delay %v outside the jitter envelope [10ms, 20ms]", d)
+	}
+}
+
+func TestHint(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		raw  string
+		want time.Duration
+	}{
+		{"", 0}, {"3", 3 * time.Second}, {"0", 0},
+		{"-1", 0}, {"soon", 0},
+	}
+	for _, c := range cases {
+		if got := Hint(mk(c.raw)); got != c.want {
+			t.Fatalf("Hint(%q) = %v, want %v", c.raw, got, c.want)
+		}
+	}
+	if Hint(nil) != 0 {
+		t.Fatal("Hint(nil) != 0")
+	}
+}
+
+func TestAutoSeedUnique(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := AutoSeed()
+		if seen[s] {
+			t.Fatal("AutoSeed repeated within one process")
+		}
+		seen[s] = true
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/retry"
 	"repro/internal/viewwire"
 )
 
@@ -43,14 +44,21 @@ const maxRecordBytes = 1 << 28
 
 // Config parameterizes a Router.
 type Config struct {
-	// Upstream is the authoritative daemon's base URL.
+	// Upstream is the authoritative daemon's base URL. Ignored when
+	// Upstreams is set.
 	Upstream string
+	// Upstreams is the rotation list of upstream base URLs: the sync
+	// loop follows one and rotates to the next on failure, so a router
+	// rides out a leader failover by re-syncing from a survivor. Empty
+	// means []string{Upstream}.
+	Upstreams []string
 	// PollTimeout is the long-poll timeout requested from upstream;
 	// 0 means 25s.
 	PollTimeout time.Duration
-	// RetryAfter is both the backoff between failed sync attempts and
+	// RetryAfter is the base backoff between failed sync attempts and
 	// the Retry-After the data plane advertises while unsynchronized;
-	// 0 means 1s.
+	// 0 means 1s. Repeated failures double the backoff (with jitter)
+	// up to maxRetryBackoff; one success resets it.
 	RetryAfter time.Duration
 	// Client is the HTTP client used upstream; nil means a dedicated
 	// client with sane long-poll timeouts.
@@ -59,7 +67,14 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// maxRetryBackoff caps the sync loop's exponential backoff.
+const maxRetryBackoff = 30 * time.Second
+
 func (c Config) withDefaults() Config {
+	if len(c.Upstreams) == 0 {
+		c.Upstreams = []string{c.Upstream}
+	}
+	c.Upstream = c.Upstreams[0]
 	if c.PollTimeout <= 0 {
 		c.PollTimeout = 25 * time.Second
 	}
@@ -100,6 +115,15 @@ type Router struct {
 	// full record lands); the data plane loads it once per request.
 	view atomic.Pointer[syncedView]
 
+	// upstream is the rotation member the sync loop currently follows.
+	upstream atomic.Value // string
+
+	// notifyMu guards notify, a channel closed (and replaced) whenever
+	// a new view is published — WaitSynced parks on it instead of
+	// polling.
+	notifyMu sync.Mutex
+	notify   chan struct{}
+
 	fullSyncs  atomic.Int64
 	deltaSyncs atomic.Int64
 	syncErrors atomic.Int64
@@ -116,6 +140,8 @@ type Router struct {
 // New builds a Router; call Start to launch the sync loop.
 func New(cfg Config) *Router {
 	rt := &Router{cfg: cfg.withDefaults(), started: time.Now()}
+	rt.upstream.Store(rt.cfg.Upstreams[0])
+	rt.notify = make(chan struct{})
 	rt.met.query.Route = "POST /v1/query"
 	rt.met.batch.Route = "POST /v1/query/batch"
 	rt.met.stats.Route = "GET /v1/stats"
@@ -152,6 +178,7 @@ func (rt *Router) ApplyRecord(rec viewwire.Record) error {
 		}
 		rt.view.Store(&syncedView{seq: rec.Seq, terms: terms, routing: routing})
 		rt.fullSyncs.Add(1)
+		rt.wakeWaiters()
 	case viewwire.KindDelta:
 		cur := rt.view.Load()
 		if cur == nil {
@@ -166,6 +193,7 @@ func (rt *Router) ApplyRecord(rec viewwire.Record) error {
 		}
 		rt.view.Store(&syncedView{seq: rec.Seq, terms: cur.terms, routing: routing})
 		rt.deltaSyncs.Add(1)
+		rt.wakeWaiters()
 	default:
 		return fmt.Errorf("router: unknown record kind %d", rec.Kind)
 	}
@@ -173,23 +201,44 @@ func (rt *Router) ApplyRecord(rec viewwire.Record) error {
 }
 
 // syncLoop long-polls the upstream watch endpoint forever, applying
-// each record as it arrives. Failures back off RetryAfter and count
-// in sync_errors; a record the apply path rejects drops the loop's
-// position so the next poll resynchronizes with a full record.
+// each record as it arrives. Failures count in sync_errors, back off
+// exponentially with jitter (base RetryAfter, cap maxRetryBackoff,
+// honoring an upstream Retry-After hint, reset by any success) and
+// rotate to the next upstream; a record the apply path rejects drops
+// the loop's position so the next poll resynchronizes with a full
+// record. An upstream epoch change — the daemon restarted, so its
+// view sequence numbering started over — likewise voids the position.
 func (rt *Router) syncLoop() {
 	defer rt.wg.Done()
+	bo := retry.NewBackoff(rt.cfg.RetryAfter, maxRetryBackoff, retry.AutoSeed())
 	var seq, pop uint64
 	have := false
+	epoch := ""
+	ui := 0
 	for rt.ctx.Err() == nil {
-		rec, status, err := rt.fetch(seq, pop, have)
+		upstream := rt.cfg.Upstreams[ui]
+		rec, status, hint, newEpoch, err := rt.fetch(upstream, seq, pop, have, epoch)
 		if err != nil {
 			if rt.ctx.Err() != nil {
 				return
 			}
 			rt.syncErrors.Add(1)
-			rt.cfg.Logf("router: sync: %v", err)
-			rt.sleep(rt.cfg.RetryAfter)
+			rt.cfg.Logf("router: sync: %s: %v", upstream, err)
+			// The next rotation member's view numbering is its own:
+			// drop the position along with the epoch.
+			ui = (ui + 1) % len(rt.cfg.Upstreams)
+			seq, pop, have, epoch = 0, 0, false, ""
+			rt.sleep(bo.Next(hint))
 			continue
+		}
+		bo.Reset()
+		rt.upstream.Store(upstream)
+		if newEpoch != epoch {
+			if epoch != "" {
+				rt.cfg.Logf("router: upstream %s restarted (epoch %s -> %s); full resync", upstream, epoch, newEpoch)
+				seq, pop, have = 0, 0, false
+			}
+			epoch = newEpoch
 		}
 		if status == http.StatusNoContent {
 			continue // long-poll timeout: nothing new, poll again
@@ -198,7 +247,7 @@ func (rt *Router) syncLoop() {
 			rt.syncErrors.Add(1)
 			rt.cfg.Logf("router: %v (forcing full resync)", err)
 			seq, pop, have = 0, 0, false
-			rt.sleep(rt.cfg.RetryAfter)
+			rt.sleep(bo.Next(0))
 			continue
 		}
 		seq, pop, have = rec.Seq, rec.PopVersion, true
@@ -214,39 +263,48 @@ func (rt *Router) sleep(d time.Duration) {
 	}
 }
 
-// fetch issues one long-poll. It returns the decoded record on 200,
-// status 204 on a quiet timeout, and an error otherwise.
-func (rt *Router) fetch(seq, pop uint64, have bool) (viewwire.Record, int, error) {
-	url := rt.cfg.Upstream + "/v1/view/watch?timeout_ms=" +
+// fetch issues one long-poll against upstream. It returns the decoded
+// record on 200, status 204 on a quiet timeout, and an error
+// otherwise (with any Retry-After hint the upstream sent). A
+// non-empty epoch asserts the seq/pop position is against that
+// daemon instance's history; the response's own epoch comes back in
+// newEpoch.
+func (rt *Router) fetch(upstream string, seq, pop uint64, have bool, epoch string) (rec viewwire.Record, status int, hint time.Duration, newEpoch string, err error) {
+	url := upstream + "/v1/view/watch?timeout_ms=" +
 		strconv.FormatInt(rt.cfg.PollTimeout.Milliseconds(), 10)
 	if have {
 		url += "&seq=" + strconv.FormatUint(seq, 10) + "&pop=" + strconv.FormatUint(pop, 10)
 	}
+	if epoch != "" {
+		url += "&epoch=" + epoch
+	}
 	req, err := http.NewRequestWithContext(rt.ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return viewwire.Record{}, 0, err
+		return viewwire.Record{}, 0, 0, "", err
 	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
-		return viewwire.Record{}, 0, err
+		return viewwire.Record{}, 0, 0, "", err
 	}
 	defer resp.Body.Close()
+	newEpoch = resp.Header.Get("X-Reform-Epoch")
 	switch resp.StatusCode {
 	case http.StatusNoContent:
-		return viewwire.Record{}, http.StatusNoContent, nil
+		return viewwire.Record{}, http.StatusNoContent, 0, newEpoch, nil
 	case http.StatusOK:
 		body, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes))
 		if err != nil {
-			return viewwire.Record{}, 0, err
+			return viewwire.Record{}, 0, 0, "", err
 		}
 		rec, err := viewwire.Decode(body)
 		if err != nil {
-			return viewwire.Record{}, 0, err
+			return viewwire.Record{}, 0, 0, "", err
 		}
-		return rec, http.StatusOK, nil
+		return rec, http.StatusOK, 0, newEpoch, nil
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return viewwire.Record{}, resp.StatusCode, fmt.Errorf("watch: upstream %d: %s", resp.StatusCode, body)
+		return viewwire.Record{}, resp.StatusCode, retry.Hint(resp), "",
+			fmt.Errorf("watch: upstream %d: %s", resp.StatusCode, body)
 	}
 }
 
@@ -271,18 +329,40 @@ func (rt *Router) DeltaSyncs() int64 { return rt.deltaSyncs.Load() }
 // SyncErrors returns how many sync attempts failed.
 func (rt *Router) SyncErrors() int64 { return rt.syncErrors.Load() }
 
+// wakeWaiters releases every WaitSynced parked on the notify channel
+// after a new view publishes.
+func (rt *Router) wakeWaiters() {
+	rt.notifyMu.Lock()
+	close(rt.notify)
+	rt.notify = make(chan struct{})
+	rt.notifyMu.Unlock()
+}
+
 // WaitSynced blocks until the router has reached at least seq (0: any
-// view at all) or the timeout elapses; it reports success.
+// view at all), the timeout elapses, or the router shuts down; it
+// reports success. It parks on a notification from ApplyRecord rather
+// than polling, so it wakes the instant a view publishes — and
+// returns immediately once Shutdown cancels the sync loop.
 func (rt *Router) WaitSynced(seq uint64, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
+		// Grab the notification channel before checking the view: a
+		// publish between the check and the park closes this channel,
+		// so the wake-up cannot be missed.
+		rt.notifyMu.Lock()
+		ch := rt.notify
+		rt.notifyMu.Unlock()
 		if v := rt.view.Load(); v != nil && v.seq >= seq {
 			return true
 		}
-		if time.Now().After(deadline) || rt.ctx.Err() != nil {
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		case <-rt.ctx.Done():
 			return false
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -341,7 +421,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]any{
 		"synced":         false,
-		"upstream":       rt.cfg.Upstream,
+		"upstream":       rt.upstream.Load(),
+		"upstreams":      rt.cfg.Upstreams,
 		"full_syncs":     rt.fullSyncs.Load(),
 		"delta_syncs":    rt.deltaSyncs.Load(),
 		"sync_errors":    rt.syncErrors.Load(),

@@ -1,0 +1,224 @@
+package router
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// flakyUpstream fronts a real daemon handler with a switchable failure
+// mode, timestamping every request it rejects.
+type flakyUpstream struct {
+	daemon http.Handler
+	fail   atomic.Bool
+	// retryAfter, when set, is sent on failures as a Retry-After header.
+	retryAfter string
+
+	mu       sync.Mutex
+	failures []time.Time
+}
+
+func (f *flakyUpstream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.fail.Load() {
+		f.mu.Lock()
+		f.failures = append(f.failures, time.Now())
+		f.mu.Unlock()
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	f.daemon.ServeHTTP(w, r)
+}
+
+func (f *flakyUpstream) failureTimes() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Time(nil), f.failures...)
+}
+
+func (f *flakyUpstream) waitFailures(t *testing.T, n int, d time.Duration) []time.Time {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ts := f.failureTimes(); len(ts) >= n {
+			return ts[:n]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d upstream failures (have %d)", n, len(f.failureTimes()))
+	return nil
+}
+
+// TestSyncLoopBackoffSpacing pins the retry-storm fix: consecutive
+// failed sync attempts space out exponentially (with jitter), one
+// success resets the ceiling, and the loop keeps running throughout.
+func TestSyncLoopBackoffSpacing(t *testing.T) {
+	s := service.New(service.Config{})
+	defer s.BeginShutdown()
+	up := &flakyUpstream{daemon: s.Handler()}
+	up.fail.Store(true)
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+
+	const base = 40 * time.Millisecond
+	rt := New(Config{Upstream: ts.URL, RetryAfter: base, PollTimeout: 100 * time.Millisecond})
+	rt.Start()
+	defer rt.Shutdown()
+
+	// Six failures: jittered gaps drawn from [20,40], [40,80], [80,160],
+	// [160,320], [320,640] ms — the whole run must span at least the
+	// minimum sum, and the last gap must exceed the first (growth).
+	times := up.waitFailures(t, 6, 15*time.Second)
+	gaps := make([]time.Duration, 0, 5)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i].Sub(times[i-1]))
+	}
+	if span := times[5].Sub(times[0]); span < 500*time.Millisecond {
+		t.Fatalf("six failures in %v: retries are not backing off (gaps %v)", span, gaps)
+	}
+	if gaps[4] <= gaps[0] {
+		t.Fatalf("backoff not growing: first gap %v, fifth gap %v", gaps[0], gaps[4])
+	}
+	if rt.SyncErrors() < 5 {
+		t.Fatalf("sync_errors %d, want >= 5", rt.SyncErrors())
+	}
+
+	// One success resets the ceiling: the next failure gap shrinks far
+	// below the pre-success minimum of 320ms.
+	up.fail.Store(false)
+	if !rt.WaitSynced(0, 10*time.Second) {
+		t.Fatal("router did not sync once the upstream recovered")
+	}
+	before := len(up.failureTimes())
+	up.fail.Store(true)
+	post := up.waitFailures(t, before+2, 15*time.Second)[before:]
+	if g := post[1].Sub(post[0]); g >= 320*time.Millisecond {
+		t.Fatalf("post-success gap %v: backoff ceiling was not reset", g)
+	}
+}
+
+// TestSyncLoopHonorsRetryAfter pins the hint path: an upstream saying
+// Retry-After: 1 is not hammered on the loop's own shorter schedule.
+func TestSyncLoopHonorsRetryAfter(t *testing.T) {
+	s := service.New(service.Config{})
+	defer s.BeginShutdown()
+	up := &flakyUpstream{daemon: s.Handler(), retryAfter: "1"}
+	up.fail.Store(true)
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+
+	rt := New(Config{Upstream: ts.URL, RetryAfter: 10 * time.Millisecond, PollTimeout: 100 * time.Millisecond})
+	rt.Start()
+	defer rt.Shutdown()
+
+	times := up.waitFailures(t, 2, 15*time.Second)
+	if g := times[1].Sub(times[0]); g < 900*time.Millisecond {
+		t.Fatalf("second attempt after %v, want >= ~1s (Retry-After: 1)", g)
+	}
+}
+
+// TestWaitSyncedReturnsOnShutdown pins the busy-poll fix: a waiter
+// parked in WaitSynced returns the moment the router shuts down, not
+// at its timeout.
+func TestWaitSyncedReturnsOnShutdown(t *testing.T) {
+	rt := New(Config{Upstream: "http://127.0.0.1:1", RetryAfter: 10 * time.Millisecond})
+	rt.Start()
+	done := make(chan bool, 1)
+	go func() { done <- rt.WaitSynced(0, 30*time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	rt.Shutdown()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("WaitSynced true with no view")
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("WaitSynced returned %v after Shutdown, want immediate", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitSynced still parked 2s after Shutdown")
+	}
+}
+
+// TestRouterResyncsAfterDaemonRestart is the restart property: when
+// the daemon behind the router's URL restarts from a snapshot (view
+// sequence numbering starts over, epoch changes), the router detects
+// the new epoch, full-resyncs, never serves an inconsistent view, and
+// does not spin in an error loop.
+func TestRouterResyncsAfterDaemonRestart(t *testing.T) {
+	s1 := service.New(service.Config{})
+	var cur atomic.Value // http.Handler
+	cur.Store(s1.Handler())
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	rt := New(Config{Upstream: front.URL, PollTimeout: 200 * time.Millisecond, RetryAfter: 10 * time.Millisecond})
+	rt.Start()
+	defer rt.Shutdown()
+
+	for i := 0; i < 5; i++ {
+		if code, body := do(s1.Handler(), "POST", "/v1/peers", joinBodyJSON(i%2, i)); code != http.StatusCreated {
+			t.Fatalf("join: %d %s", code, body)
+		}
+	}
+	seq1 := serviceSeq(t, s1.Handler())
+	if !rt.WaitSynced(seq1, 10*time.Second) {
+		t.Fatal("router never caught up to the first daemon")
+	}
+
+	// Restart: a new daemon restored from the snapshot takes over the
+	// same URL; its view numbering restarts at 1 under a fresh epoch.
+	s2, err := service.NewFromSnapshot(service.Config{}, s1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.BeginShutdown()
+	cur.Store(s2.Handler())
+	s1.BeginShutdown() // wakes the router's parked long-poll with a 204
+
+	seq2 := serviceSeq(t, s2.Handler())
+	if seq2 >= seq1 {
+		t.Fatalf("restarted daemon's view seq %d did not reset (was %d)", seq2, seq1)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Seq() != seq2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rt.Seq() != seq2 {
+		t.Fatalf("router seq %d, want restarted daemon's %d", rt.Seq(), seq2)
+	}
+	if rt.FullSyncs() < 2 {
+		t.Fatalf("full syncs %d, want >= 2 (one per daemon instance)", rt.FullSyncs())
+	}
+
+	// The router must keep advancing on the new instance — and answer
+	// byte-identically to it.
+	if code, body := do(s2.Handler(), "POST", "/v1/peers", joinBodyJSON(1, 7)); code != http.StatusCreated {
+		t.Fatalf("post-restart join: %d %s", code, body)
+	}
+	if !rt.WaitSynced(serviceSeq(t, s2.Handler()), 10*time.Second) {
+		t.Fatal("router stopped advancing after the restart")
+	}
+	errsBefore := rt.SyncErrors()
+	q := []byte(`{"terms":["c0-t0","c1-t1"]}`)
+	codeA, bodyA := do(s2.Handler(), "POST", "/v1/query", q)
+	codeB, bodyB := do(rt.Handler(), "POST", "/v1/query", q)
+	if codeA != codeB || string(bodyA) != string(bodyB) {
+		t.Fatalf("post-restart answers diverge: %d %s vs %d %s", codeA, bodyA, codeB, bodyB)
+	}
+	// No error loop: the loop settles into quiet long-polls.
+	time.Sleep(300 * time.Millisecond)
+	if rt.SyncErrors() != errsBefore {
+		t.Fatalf("sync errors still accumulating after restart (%d -> %d)", errsBefore, rt.SyncErrors())
+	}
+}

@@ -163,16 +163,18 @@ func TestStatsEndpointRoutes(t *testing.T) {
 	st := doJSON(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
 	eps := st["endpoints"].(map[string]any)
 	want := map[string]string{
-		"query":       "POST /v1/query",
-		"query_batch": "POST /v1/query/batch",
-		"stats":       "GET /v1/stats",
-		"peers_join":  "POST /v1/peers",
-		"peers_get":   "GET /v1/peers/{id}",
-		"peers_leave": "DELETE /v1/peers/{id}",
-		"reform":      "POST /v1/reform",
-		"compact":     "POST /v1/compact",
-		"snapshot":    "GET /v1/snapshot",
-		"view_watch":  "GET /v1/view/watch",
+		"query":        "POST /v1/query",
+		"query_batch":  "POST /v1/query/batch",
+		"stats":        "GET /v1/stats",
+		"peers_join":   "POST /v1/peers",
+		"peers_get":    "GET /v1/peers/{id}",
+		"peers_leave":  "DELETE /v1/peers/{id}",
+		"reform":       "POST /v1/reform",
+		"compact":      "POST /v1/compact",
+		"snapshot":     "GET /v1/snapshot",
+		"view_watch":   "GET /v1/view/watch",
+		"replog_watch": "GET /v1/replog/watch",
+		"promote":      "POST /v1/promote",
 	}
 	if len(eps) != len(want) {
 		t.Fatalf("%d endpoint entries, want %d", len(eps), len(want))

@@ -22,6 +22,8 @@ type serverMetrics struct {
 	compact  api.EndpointMetrics
 	snapshot api.EndpointMetrics
 	watch    api.EndpointMetrics
+	replog   api.EndpointMetrics
+	promote  api.EndpointMetrics
 
 	// lockHold records every mutation-lock hold duration (joins,
 	// leaves, compactions, snapshots and individual maintenance
@@ -43,20 +45,24 @@ func (sm *serverMetrics) init() {
 	sm.compact.Route = "POST /v1/compact"
 	sm.snapshot.Route = "GET /v1/snapshot"
 	sm.watch.Route = "GET /v1/view/watch"
+	sm.replog.Route = "GET /v1/replog/watch"
+	sm.promote.Route = "POST /v1/promote"
 }
 
 // endpoints renders the per-endpoint stats map.
 func (sm *serverMetrics) endpoints() map[string]any {
 	return map[string]any{
-		"query":       sm.query.Snapshot(),
-		"query_batch": sm.batch.Snapshot(),
-		"stats":       sm.stats.Snapshot(),
-		"peers_join":  sm.join.Snapshot(),
-		"peers_get":   sm.peerGet.Snapshot(),
-		"peers_leave": sm.leave.Snapshot(),
-		"reform":      sm.reform.Snapshot(),
-		"compact":     sm.compact.Snapshot(),
-		"snapshot":    sm.snapshot.Snapshot(),
-		"view_watch":  sm.watch.Snapshot(),
+		"query":        sm.query.Snapshot(),
+		"query_batch":  sm.batch.Snapshot(),
+		"stats":        sm.stats.Snapshot(),
+		"peers_join":   sm.join.Snapshot(),
+		"peers_get":    sm.peerGet.Snapshot(),
+		"peers_leave":  sm.leave.Snapshot(),
+		"reform":       sm.reform.Snapshot(),
+		"compact":      sm.compact.Snapshot(),
+		"snapshot":     sm.snapshot.Snapshot(),
+		"view_watch":   sm.watch.Snapshot(),
+		"replog_watch": sm.replog.Snapshot(),
+		"promote":      sm.promote.Snapshot(),
 	}
 }

@@ -1,0 +1,315 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replog"
+)
+
+// waitUntil polls cond every 2ms until it holds, failing the test at
+// the deadline.
+func waitUntil(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// caughtUp reports whether the follower has applied everything the
+// leader has logged.
+func caughtUp(leader, follower *Server) bool {
+	return follower.replSynced.Load() &&
+		follower.replLog.LastIndex() == leader.replLog.LastIndex()
+}
+
+func marshalSnapshot(t *testing.T, s *Server) []byte {
+	t.Helper()
+	b, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFollowerReplicatesByteIdentical is the replication tier's core
+// contract: a follower that joined mid-history (snapshot catch-up over
+// a state with vacated slots) and then rode the entry feed holds
+// byte-identical overlay state — snapshot, free-slot stack, published
+// view, and query answers — after joins, leaves, a maintenance period
+// and a compaction on the leader.
+func TestFollowerReplicatesByteIdentical(t *testing.T) {
+	s1 := New(Config{StepBudget: 1})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	defer s1.BeginShutdown()
+
+	// Pre-history the catch-up document must carry: peers across three
+	// categories, two leaves punching holes in the slot space.
+	for i := 0; i < 9; i++ {
+		doJSON(t, ts1, "POST", "/v1/peers", joinBody(i%3, i), http.StatusCreated)
+	}
+	doJSON(t, ts1, "DELETE", "/v1/peers/2", nil, http.StatusOK)
+	doJSON(t, ts1, "DELETE", "/v1/peers/5", nil, http.StatusOK)
+
+	s2 := New(Config{Join: []string{ts1.URL}, StepBudget: 1})
+	s2.Start()
+	defer s2.Shutdown()
+	waitUntil(t, "follower catch-up", 10*time.Second, func() bool { return caughtUp(s1, s2) })
+
+	// Live history: joins that must reuse the leader's vacancy order,
+	// more churn, a maintenance period, a compaction.
+	for i := 0; i < 6; i++ {
+		doJSON(t, ts1, "POST", "/v1/peers", joinBody(i%3, i+9), http.StatusCreated)
+	}
+	doJSON(t, ts1, "DELETE", "/v1/peers/7", nil, http.StatusOK)
+	doJSON(t, ts1, "POST", "/v1/reform", nil, http.StatusOK)
+	doJSON(t, ts1, "POST", "/v1/compact", nil, http.StatusOK)
+	waitUntil(t, "follower replay", 10*time.Second, func() bool { return caughtUp(s1, s2) })
+
+	if a, b := marshalSnapshot(t, s1), marshalSnapshot(t, s2); !bytes.Equal(a, b) {
+		t.Fatalf("snapshots diverge:\nleader   %s\nfollower %s", a, b)
+	}
+	if a, b := s1.eng.FreeSlots(), s2.eng.FreeSlots(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("free-slot stacks diverge: leader %v, follower %v", a, b)
+	}
+
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	recA, _ := watchRecord(t, ts1, "")
+	recB, _ := watchRecord(t, ts2, "")
+	if !reflect.DeepEqual(recA.View, recB.View) {
+		t.Fatal("published routing views diverge")
+	}
+	if !reflect.DeepEqual(recA.Terms, recB.Terms) {
+		t.Fatal("published term tables diverge")
+	}
+	for cat := 0; cat < 3; cat++ {
+		for d := 0; d < 5; d++ {
+			body := fmt.Sprintf(`{"terms":["c%d-t%d"]}`, cat, d)
+			_, a, _ := rawDo(t, ts1, "POST", "/v1/query", body)
+			_, b, _ := rawDo(t, ts2, "POST", "/v1/query", body)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("query %s diverges: %s vs %s", body, a, b)
+			}
+		}
+	}
+}
+
+// TestFollowerControlPlane pins the follower's HTTP contract: data
+// plane 503 not_ready before the first catch-up, control plane 503
+// not_leader with no known leader, 307 to the leader once known (and
+// a redirect-following client lands the mutation on the leader), and
+// 409 not_leader from POST /v1/promote on a node already leading.
+func TestFollowerControlPlane(t *testing.T) {
+	s1 := New(Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	defer s1.BeginShutdown()
+	doJSON(t, ts1, "POST", "/v1/peers", joinBody(0, 0), http.StatusCreated)
+
+	// An unstarted follower: no leader known, nothing synced.
+	cold := New(Config{Join: []string{ts1.URL}})
+	tsCold := httptest.NewServer(cold.Handler())
+	defer tsCold.Close()
+	status, body, _ := rawDo(t, tsCold, "POST", "/v1/query", `{"terms":["c0-t0"]}`)
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "not_ready") {
+		t.Fatalf("cold follower query: %d %s, want 503 not_ready", status, body)
+	}
+	status, body, _ = rawDo(t, tsCold, "POST", "/v1/peers", `{"items":[["x"]],"queries":[]}`)
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "not_leader") {
+		t.Fatalf("cold follower join: %d %s, want 503 not_leader", status, body)
+	}
+
+	s2 := New(Config{Join: []string{ts1.URL}})
+	s2.Start()
+	defer s2.Shutdown()
+	waitUntil(t, "follower synced", 10*time.Second, func() bool { return caughtUp(s1, s2) })
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	// The raw redirect: 307 with a Location pointing at the leader.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	join, _ := json.Marshal(joinBody(1, 1))
+	req, _ := http.NewRequest("POST", ts2.URL+"/v1/peers", bytes.NewReader(join))
+	resp, err := noFollow.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("follower join: status %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != ts1.URL+"/v1/peers" {
+		t.Fatalf("redirect location %q, want %q", loc, ts1.URL+"/v1/peers")
+	}
+
+	// A default client follows it and the mutation replicates back.
+	doJSON(t, ts2, "POST", "/v1/peers", joinBody(2, 2), http.StatusCreated)
+	waitUntil(t, "redirected join replicated", 10*time.Second, func() bool {
+		return caughtUp(s1, s2)
+	})
+	if a, b := marshalSnapshot(t, s1), marshalSnapshot(t, s2); !bytes.Equal(a, b) {
+		t.Fatal("snapshots diverge after redirected join")
+	}
+
+	// Promoting the leader is a conflict.
+	doJSON(t, ts1, "POST", "/v1/promote", nil, http.StatusConflict)
+}
+
+// TestWatchShutdownRegression pins the long-poll shutdown fix: a
+// watcher parked on either feed gets its 204 within a second of
+// BeginShutdown instead of sleeping out its full timeout.
+func TestWatchShutdownRegression(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	doJSON(t, ts, "POST", "/v1/peers", joinBody(0, 0), http.StatusCreated)
+	rec, _ := watchRecord(t, ts, "")
+
+	paths := []string{
+		"/v1/view/watch?timeout_ms=30000&seq=" + strconv.FormatUint(rec.Seq, 10) +
+			"&pop=" + strconv.FormatUint(rec.PopVersion, 10),
+		"/v1/replog/watch?timeout_ms=30000&epoch=" + strconv.FormatUint(s.epoch, 10) +
+			"&from=" + strconv.FormatUint(s.replLog.LastIndex(), 10),
+	}
+	type result struct {
+		path   string
+		status int
+		err    error
+	}
+	got := make(chan result, len(paths))
+	for _, p := range paths {
+		go func(p string) {
+			resp, err := ts.Client().Get(ts.URL + p)
+			if err != nil {
+				got <- result{p, 0, err}
+				return
+			}
+			resp.Body.Close()
+			got <- result{p, resp.StatusCode, nil}
+		}(p)
+	}
+	time.Sleep(100 * time.Millisecond) // let both watchers park
+	start := time.Now()
+	s.BeginShutdown()
+	for range paths {
+		select {
+		case r := <-got:
+			if r.err != nil || r.status != http.StatusNoContent {
+				t.Fatalf("%s: status %d, err %v, want 204", r.path, r.status, r.err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("parked watcher not released within 1s of BeginShutdown")
+		}
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("watcher release took %v, want <1s", el)
+	}
+}
+
+// TestFailoverConvergenceProperty pins the promotion contract: cut the
+// leader's replicated log at any prefix — before, inside, or after a
+// maintenance period — hand the prefix to two fresh followers, promote
+// one in each mode, and after one full maintenance period both hold
+// byte-identical snapshots and bit-identical costs. "resume" and
+// "abort" differ only in when that period runs.
+func TestFailoverConvergenceProperty(t *testing.T) {
+	s1 := New(Config{StepBudget: 1})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	defer s1.BeginShutdown()
+	for i := 0; i < 12; i++ {
+		doJSON(t, ts1, "POST", "/v1/peers", joinBody(i%3, i), http.StatusCreated)
+	}
+	doJSON(t, ts1, "DELETE", "/v1/peers/4", nil, http.StatusOK)
+	doJSON(t, ts1, "POST", "/v1/reform", nil, http.StatusOK)
+	doJSON(t, ts1, "POST", "/v1/peers", joinBody(1, 20), http.StatusCreated)
+
+	entries, ok := s1.replLog.Since(0, 0)
+	if !ok || len(entries) == 0 {
+		t.Fatalf("leader log capture failed (ok %v, %d entries)", ok, len(entries))
+	}
+	// Locate the maintenance period so the cut sample straddles it.
+	pstart, pend := -1, -1
+	for i, e := range entries {
+		switch e.Kind {
+		case replog.KindPeriodStart:
+			pstart = i
+		case replog.KindPeriodEnd:
+			pend = i
+		}
+	}
+	if pstart < 0 || pend <= pstart {
+		t.Fatalf("no maintenance period in log (start %d, end %d)", pstart, pend)
+	}
+	cuts := map[int]bool{
+		pstart:                       true, // period opened, no grants yet
+		pstart + 1 + (pend-pstart)/2: true, // mid-grants
+		pend:                         true, // period closed
+		len(entries):                 true, // everything
+	}
+	if pstart > 0 {
+		cuts[pstart-1] = true // pre-period
+	}
+
+	newFollower := func(prefix int) *Server {
+		f := New(Config{Join: []string{"http://invalid.invalid"}, StepBudget: 1})
+		for _, e := range entries[:prefix] {
+			unlock := f.lockMutation()
+			err := f.applyEntryLocked(e)
+			if err == nil {
+				f.publishLocked()
+			}
+			unlock()
+			if err != nil {
+				t.Fatalf("replay entry %d: %v", e.Index, err)
+			}
+		}
+		return f
+	}
+
+	for cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			resume, abort := newFollower(cut), newFollower(cut)
+			base := resume.reforms.Load()
+			if _, err := resume.Promote("resume"); err != nil {
+				t.Fatal(err)
+			}
+			waitUntil(t, "resumed period", 10*time.Second, func() bool {
+				return resume.reforms.Load() > base && !resume.replOpenPeriod.Load()
+			})
+			if _, err := abort.Promote("abort"); err != nil {
+				t.Fatal(err)
+			}
+			abort.Reform() // the tick the abort mode waits for
+
+			if a, b := marshalSnapshot(t, resume), marshalSnapshot(t, abort); !bytes.Equal(a, b) {
+				t.Fatalf("modes diverge at cut %d:\nresume %s\nabort  %s", cut, a, b)
+			}
+			va, vb := resume.loadView(), abort.loadView()
+			if va.g.scost != vb.g.scost || va.g.wcost != vb.g.wcost {
+				t.Fatalf("costs diverge at cut %d: resume (%v,%v) abort (%v,%v)",
+					cut, va.g.scost, va.g.wcost, vb.g.scost, vb.g.wcost)
+			}
+			resume.Shutdown()
+			abort.Shutdown()
+		})
+	}
+}

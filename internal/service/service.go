@@ -80,6 +80,7 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -93,6 +94,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/peer"
 	"repro/internal/protocol"
+	"repro/internal/replog"
 	"repro/internal/workload"
 )
 
@@ -146,6 +148,13 @@ type Config struct {
 	// workload has fewer distinct queries than this (tiny workloads
 	// flap around any ratio); 0 means the default 64.
 	CompactMinQueries int
+	// Join, when non-empty, starts the server as a replication
+	// follower of the listed base URLs (rotated on failure; usually
+	// the leader first, then sibling followers as relays). A follower
+	// serves the data plane from its replicated state, redirects
+	// control-plane mutations to its leader, and becomes the leader
+	// itself via POST /v1/promote. Empty means lead from the start.
+	Join []string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -247,13 +256,48 @@ type Server struct {
 
 	met serverMetrics
 
+	// Replication (see replication.go and follow.go). Every node —
+	// leader or follower — carries the mutation log; the leader
+	// appends to it under the mutation lock, followers append what
+	// they replay from the stream, and any node serves the
+	// /v1/replog/watch feed from its copy. epoch is this instance's
+	// random identity, stamped on both replication feeds so clients
+	// detect restarts.
+	replLog    *replog.Log
+	epoch      uint64
+	isLeader   atomic.Bool
+	leaderTerm atomic.Uint64
+	// replSynced flips once a follower installs its first catch-up;
+	// until then its data plane answers 503 not_ready.
+	replSynced atomic.Bool
+	// replOpenPeriod tracks whether the log shows a maintenance period
+	// open (leader: set around Reform; follower: tracked from period
+	// boundary entries) — what a promotion must close.
+	replOpenPeriod atomic.Bool
+	// leaderURL is where a follower redirects control-plane mutations
+	// (the upstream it last synced from; holds a string).
+	leaderURL atomic.Value
+	// promoteMu serializes Promote against itself.
+	promoteMu sync.Mutex
+	// followCancel/followDone bound the follower sync loop's lifetime;
+	// Promote and BeginShutdown cancel it and wait on done.
+	followCancel context.CancelFunc
+	followDone   chan struct{}
+
+	entriesLogged     atomic.Int64
+	entriesApplied    atomic.Int64
+	catchupsServed    atomic.Int64
+	catchupsInstalled atomic.Int64
+	replErrors        atomic.Int64
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
 
 // New builds a Server over an initially empty system: the population
-// grows entirely through the join API (or a snapshot restore).
+// grows entirely through the join API, a snapshot restore, or — with
+// Config.Join set — replication from a leader.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -263,19 +307,38 @@ func New(cfg Config) *Server {
 		stop:    make(chan struct{}),
 	}
 	s.met.init()
+	s.replLog = replog.NewLog()
+	s.epoch = newEpoch()
+	// No follow loop yet: done is pre-closed and cancel a no-op, so
+	// Promote works even on a follower whose Start was never called.
+	s.followDone = make(chan struct{})
+	close(s.followDone)
+	s.followCancel = func() {}
+	if len(cfg.Join) == 0 {
+		// Standalone == a leader with no followers yet; it logs every
+		// mutation so followers can join at any time.
+		s.isLeader.Store(true)
+		s.leaderTerm.Store(1)
+	}
 	s.eng = core.New(nil, workload.New(0), cluster.FromAssignment(nil), cfg.Theta, cfg.Alpha)
 	s.runner = s.newRunner()
 	s.publishLocked()
 	return s
 }
 
-// Start launches the background maintenance and snapshot tickers.
+// Start launches the background loops: maintenance and compaction
+// tickers (which fire only while this node leads — a promoted
+// follower's tickers come alive without new goroutines), the snapshot
+// ticker, and — when Config.Join is set — the replication follow loop.
 // Callers that only use the HTTP handler (tests, manual maintenance)
 // may skip it.
 func (s *Server) Start() {
 	if s.cfg.ReformEvery > 0 {
 		s.wg.Add(1)
 		go s.tick(s.cfg.ReformEvery, func() {
+			if !s.isLeader.Load() {
+				return // maintenance is scheduled by the leader alone
+			}
 			rpt := s.Reform()
 			s.cfg.Logf("reform: %d rounds, %d moves, scost %.4f -> %.4f",
 				rpt.RoundsRun, countMoves(rpt), rpt.InitialSCost, rpt.FinalSCost)
@@ -292,6 +355,9 @@ func (s *Server) Start() {
 	if s.cfg.CompactEvery > 0 {
 		s.wg.Add(1)
 		go s.tick(s.cfg.CompactEvery, func() {
+			if !s.isLeader.Load() {
+				return // compactions replicate from the leader's log
+			}
 			defer s.lockMutation()()
 			// Republish only when the check actually compacted: a
 			// no-op tick changes nothing a view carries.
@@ -299,6 +365,18 @@ func (s *Server) Start() {
 				s.publishLocked()
 			}
 		})
+	}
+	select {
+	case <-s.stop:
+		return // shut down before Start: don't launch the follow loop
+	default:
+	}
+	if len(s.cfg.Join) > 0 && !s.isLeader.Load() {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.followCancel = cancel
+		s.followDone = make(chan struct{})
+		s.wg.Add(1)
+		go s.followLoop(ctx, s.cfg.Join)
 	}
 }
 
@@ -316,10 +394,25 @@ func (s *Server) tick(every time.Duration, fn func()) {
 	}
 }
 
-// Shutdown stops the tickers and writes a final snapshot when a path
-// is configured, so a restarted daemon resumes the same overlay.
-func (s *Server) Shutdown() error {
+// BeginShutdown starts a graceful stop without waiting: the stop
+// channel closes, which ends the tickers and the follow loop and —
+// critically — wakes every long-poll parked in /v1/view/watch and
+// /v1/replog/watch (they answer 204 immediately). Call it BEFORE
+// http.Server.Shutdown, which otherwise waits out each watcher's
+// long-poll timeout (up to watchMaxTimeout) as an in-flight request.
+// Idempotent.
+func (s *Server) BeginShutdown() {
 	s.stopOnce.Do(func() { close(s.stop) })
+	s.followCancel()
+}
+
+// Shutdown stops the background loops, waits for them, and writes a
+// final snapshot when a path is configured, so a restarted daemon
+// resumes the same overlay. (It includes BeginShutdown; callers
+// pairing with an http.Server should call BeginShutdown first, then
+// http.Server.Shutdown, then this.)
+func (s *Server) Shutdown() error {
+	s.BeginShutdown()
 	s.wg.Wait()
 	if s.cfg.SnapshotPath != "" {
 		return s.WriteSnapshot(s.cfg.SnapshotPath)
@@ -363,12 +456,19 @@ func (s *Server) Reform() protocol.Report {
 
 	unlock := s.lockMutation()
 	per := s.runner.Begin()
+	s.logLocked(replog.KindPeriodStart, nil)
+	s.replOpenPeriod.Store(true)
+	drained := 0
 	pr := per.Progress()
 	s.maintProgress.Store(&pr)
 	for {
 		moves := per.Moves()
 		done := per.Step(budget)
 		if per.Moves() > moves {
+			// Replicate this step's grants before publishing, under the
+			// same hold: followers learn each relocation exactly when
+			// the leader's own read view starts reflecting it.
+			drained = s.logGrantsLocked(per, drained)
 			s.publishLocked()
 		}
 		pr := per.Progress()
@@ -381,6 +481,13 @@ func (s *Server) Reform() protocol.Report {
 			s.scanFallbacks.Add(int64(ss.Fallback))
 			s.fullScans.Add(int64(ss.Full))
 			s.maybeCompactLocked()
+			finRpt := per.Report()
+			s.logLocked(replog.KindPeriodEnd, replog.PeriodEndOp{
+				Converged: finRpt.Converged,
+				Rounds:    finRpt.RoundsRun,
+				Moves:     countMoves(finRpt),
+			})
+			s.replOpenPeriod.Store(false)
 			s.publishLocked()
 			unlock()
 			break
@@ -438,6 +545,10 @@ func (s *Server) compactLocked() int {
 	if removed > 0 {
 		s.compactions.Add(1)
 		s.compacted.Add(int64(removed))
+		s.logLocked(replog.KindCompact, replog.CompactOp{
+			Removed: removed,
+			Queries: s.eng.Workload().NumQueries(),
+		})
 		s.cfg.Logf("compact: %d -> %d distinct queries (generation %d)",
 			before, s.eng.Workload().NumQueries(), s.compactions.Load())
 	}
@@ -463,18 +574,25 @@ func (s *Server) Handler() http.Handler {
 		m      *api.EndpointMetrics
 		h      http.HandlerFunc
 	}{
-		// Data plane: servable from a published view alone.
+		// Data plane: servable from a published view alone (on a
+		// follower, once the first catch-up installed).
 		{"POST /v1/query", "POST /query", &s.met.query, s.handleQuery},
 		{"POST /v1/query/batch", "POST /query/batch", &s.met.batch, s.handleQueryBatch},
 		{"GET /v1/stats", "GET /stats", &s.met.stats, s.handleStats},
-		// Control plane: mutations and admin, authoritative daemon only.
-		{"POST /v1/peers", "POST /peers", &s.met.join, s.handleJoin},
+		// Control plane: mutations serve on the leader; followers
+		// redirect them there (307) so clients can talk to any node.
+		{"POST /v1/peers", "POST /peers", &s.met.join, s.leaderOnly(s.handleJoin)},
 		{"GET /v1/peers/{id}", "GET /peers/{id}", &s.met.peerGet, s.handlePeerGet},
-		{"DELETE /v1/peers/{id}", "DELETE /peers/{id}", &s.met.leave, s.handleLeave},
-		{"POST /v1/reform", "POST /reform", &s.met.reform, s.handleReform},
-		{"POST /v1/compact", "POST /compact", &s.met.compact, s.handleCompact},
+		{"DELETE /v1/peers/{id}", "DELETE /peers/{id}", &s.met.leave, s.leaderOnly(s.handleLeave)},
+		{"POST /v1/reform", "POST /reform", &s.met.reform, s.leaderOnly(s.handleReform)},
+		{"POST /v1/compact", "POST /compact", &s.met.compact, s.leaderOnly(s.handleCompact)},
 		{"GET /v1/snapshot", "GET /snapshot", &s.met.snapshot, s.handleSnapshot},
 		{"GET /v1/view/watch", "", &s.met.watch, s.handleViewWatch},
+		// Replication plane: the mutation-log feed (any node) and
+		// follower promotion (deliberately NOT leader-gated: it is
+		// what a follower runs when the leader is gone).
+		{"GET /v1/replog/watch", "", &s.met.replog, s.handleReplogWatch},
+		{"POST /v1/promote", "", &s.met.promote, s.handlePromote},
 	}
 	mux := http.NewServeMux()
 	for _, rt := range routes {
@@ -564,6 +682,18 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	pr.SetItems(items)
 	pid := s.eng.AddPeer(pr, queries, counts, cluster.None)
 	s.joins.Add(1)
+	if s.isLeader.Load() {
+		op := replog.JoinOp{
+			Items:   req.Items,
+			Queries: make([]replog.QueryCount, len(req.Queries)),
+			Slot:    pid,
+			Cluster: int(s.eng.Config().ClusterOf(pid)),
+		}
+		for i, q := range req.Queries {
+			op.Queries[i] = replog.QueryCount{Terms: q.Terms, Count: q.Count}
+		}
+		s.logLocked(replog.KindJoin, op)
+	}
 	s.publishLocked()
 	api.WriteJSON(w, http.StatusCreated, joinResponse{
 		ID:      pid,
@@ -609,6 +739,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	}
 	s.eng.RemovePeer(id)
 	s.leaves.Add(1)
+	s.logLocked(replog.KindLeave, replog.LeaveOp{Slot: id})
 	s.publishLocked()
 	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"removed": id,
@@ -624,14 +755,34 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 // entirely from the latest published read view, through the exact
 // code path every router replica runs (api.ServeQuery).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.dataReady(w) {
+		return
+	}
 	v := s.loadView()
 	s.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing)))
+}
+
+// dataReady gates the data plane on a follower that has not installed
+// its first catch-up yet: its (empty) view is not the overlay, so it
+// answers 503 not_ready — exactly like an unsynchronized router
+// replica — instead of confidently wrong empty answers.
+func (s *Server) dataReady(w http.ResponseWriter) bool {
+	if s.isLeader.Load() || s.replSynced.Load() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	api.Error(w, http.StatusServiceUnavailable, api.CodeNotReady,
+		"follower has no replicated state yet; retry shortly")
+	return false
 }
 
 // handleQueryBatch routes up to api.MaxBatchQueries queries in one
 // request. All answers come from one published view, so the batch is
 // internally consistent even while mutations land concurrently.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.dataReady(w) {
+		return
+	}
 	v := s.loadView()
 	s.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing)))
 }
@@ -642,15 +793,20 @@ const (
 	watchMaxTimeout     = 55 * time.Second
 )
 
-// handleViewWatch is the replication feed: a long-poll that returns
-// the wire record carrying the watcher from its (seq, pop) position
-// to the latest published view. First contact (no position) gets the
-// current full record immediately; an up-to-date watcher blocks until
-// the next publication or its timeout (204); a watcher on the same
-// population version whose base is still in the delta ring gets a
-// pure-relocation delta, anything else a full resync. Lock-free like
-// the rest of the read path.
+// handleViewWatch is the view replication feed: a long-poll that
+// returns the wire record carrying the watcher from its (seq, pop)
+// position to the latest published view. First contact (no position)
+// gets the current full record immediately; an up-to-date watcher
+// blocks until the next publication, its timeout, or server shutdown
+// (both 204); a watcher on the same population version whose base is
+// still in the delta ring gets a pure-relocation delta, anything else
+// a full resync. Positions are only honored when the watcher echoes
+// this instance's epoch: a watcher that outlived a restart (sequence
+// numbers reset with the process) is otherwise resynchronized with a
+// full record instead of silently fed records keyed against the dead
+// instance's history. Lock-free like the rest of the read path.
 func (s *Server) handleViewWatch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(epochHeader, strconv.FormatUint(s.epoch, 10))
 	q := r.URL.Query()
 	parseU64 := func(name string) (uint64, bool) {
 		raw := q.Get(name)
@@ -671,6 +827,15 @@ func (s *Server) handleViewWatch(w http.ResponseWriter, r *http.Request) {
 	pop, ok := parseU64("pop")
 	if !ok {
 		return
+	}
+	epoch, ok := parseU64("epoch")
+	if !ok {
+		return
+	}
+	if epoch != 0 && epoch != s.epoch {
+		// The watcher followed another instance; its position means
+		// nothing here. Treat as first contact.
+		seq, pop = 0, 0
 	}
 	timeout := watchDefaultTimeout
 	if raw := q.Get("timeout_ms"); raw != "" {
@@ -697,6 +862,11 @@ func (s *Server) handleViewWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-n.ch:
 		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-s.stop:
+			// Graceful shutdown: answer every parked watcher now so
+			// http.Server.Shutdown is not held hostage by long polls.
 			w.WriteHeader(http.StatusNoContent)
 			return
 		case <-r.Context().Done():
@@ -755,6 +925,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"watch_delta":       s.deltaRecords.Load(),
 		"endpoints":         s.met.endpoints(),
 		"maintenance":       s.maintenanceStats(),
+		"replication":       s.replicationStats(),
 		"mutation_lock":     s.met.lockHold.HoldSnapshot(),
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 	})

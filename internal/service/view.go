@@ -44,8 +44,12 @@ type readView struct {
 	// length it covers. names is the inverse, in vocabulary order —
 	// captured at publish time because the vocabulary is not
 	// concurrent-safe — and is what the wire encoding carries.
-	terms    map[string]attr.ID
-	names    []string
+	terms map[string]attr.ID
+	names []string
+	// vocabObj/vocabLen identify the vocabulary instance and length the
+	// term table covers: reuse needs the same instance (a replication
+	// catch-up swaps the vocabulary wholesale) at the same length.
+	vocabObj *attr.Vocab
 	vocabLen int
 	routing  *core.RoutingView
 	// eng identifies the engine the routing view was built from:
@@ -102,7 +106,7 @@ func (s *Server) publishLocked() {
 		if prev.eng == s.eng {
 			prevRouting = prev.routing
 		}
-		if prev.vocabLen == s.vocab.Len() {
+		if prev.vocabObj == s.vocab && prev.vocabLen == s.vocab.Len() {
 			terms = prev.terms
 			names = prev.names
 		}
@@ -120,6 +124,7 @@ func (s *Server) publishLocked() {
 		seq:      s.viewSeq,
 		terms:    terms,
 		names:    names,
+		vocabObj: s.vocab,
 		vocabLen: s.vocab.Len(),
 		routing:  s.eng.BuildRoutingView(prevRouting),
 		eng:      s.eng,
