@@ -17,9 +17,13 @@
 //	reform cluster                 # 3-node failover smoke test (kills the leader)
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, counterexample, theta,
-// epsilon, hybrid, paired, clgain, shared, async, baseline, discovery,
-// churn, flashcrowd, longhaul, interleaved, lookup, routing,
-// multicluster, all.
+// epsilon, hybrid, paired, clgain, shared, async, asyncnet, baseline,
+// discovery, churn, flashcrowd, longhaul, interleaved, lookup,
+// routing, multicluster, all. The asyncnet experiment runs the
+// protocol on the actor-style message-passing runtime
+// (internal/asyncnet) under injected latency, reordering, loss and
+// straggler peers, and reports convergence quality against the
+// synchronous oracle.
 //
 // Experiment cells run on a worker pool (default: one per CPU; see
 // -workers). Outputs are deterministic per seed for every worker
@@ -106,6 +110,7 @@ func main() {
 		"clgain":         func() { out.table(experiments.RunClgainAblation(p)) },
 		"shared":         func() { out.table(experiments.RunSharedVocabAblation(p)) },
 		"async":          func() { out.table(experiments.RunAsyncComparison(p)) },
+		"asyncnet":       func() { out.table(experiments.RunAsyncNet(p)) },
 		"baseline":       func() { out.table(experiments.RunBaselineComparison(p)) },
 		"discovery":      func() { out.table(experiments.RunKMeansDiscovery(p)) },
 		"churn":          func() { out.series(experiments.RunChurn(p, 10, 0.05)) },
@@ -119,7 +124,7 @@ func main() {
 	order := []string{
 		"table1", "fig1", "fig2", "fig3", "fig4", "counterexample",
 		"theta", "epsilon", "hybrid", "paired", "clgain", "shared",
-		"async", "baseline", "discovery", "churn", "flashcrowd",
+		"async", "asyncnet", "baseline", "discovery", "churn", "flashcrowd",
 		"longhaul", "interleaved", "lookup", "routing", "multicluster",
 	}
 

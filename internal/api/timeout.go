@@ -1,0 +1,29 @@
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ParseTimeoutMS interprets a long-poll timeout_ms query parameter.
+// An empty value means def; negatives and non-integers are an error
+// (callers answer bad_param); anything above max — the documented
+// per-endpoint ceiling — is clamped to max. The clamp happens on the
+// millisecond integer, before the time.Duration conversion: values
+// near math.MaxInt64 milliseconds would otherwise overflow the
+// nanosecond representation into the negatives, turning an
+// "effectively forever" request into a timer that fires immediately.
+func ParseTimeoutMS(raw string, def, max time.Duration) (time.Duration, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	if n > max.Milliseconds() {
+		return max, nil
+	}
+	return time.Duration(n) * time.Millisecond, nil
+}

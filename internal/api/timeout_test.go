@@ -1,0 +1,55 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseTimeoutMS(t *testing.T) {
+	const (
+		def = 25 * time.Second
+		max = 55 * time.Second
+	)
+	cases := []struct {
+		name    string
+		raw     string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"empty means default", "", def, false},
+		{"zero", "0", 0, false},
+		{"plain value", "1500", 1500 * time.Millisecond, false},
+		{"exactly max", "55000", max, false},
+		{"above max clamps", "55001", max, false},
+		{"negative", "-1", 0, true},
+		{"very negative", "-9223372036854775808", 0, true},
+		{"not a number", "nope", 0, true},
+		{"trailing junk", "100x", 0, true},
+		{"float", "1.5", 0, true},
+		{"beyond int64", "9223372036854775808", 0, true},
+		// The overflow trap: fits int64 as milliseconds but overflows
+		// the nanosecond time.Duration representation. Must clamp to
+		// max, not wrap negative and fire instantly.
+		{"duration overflow clamps", "9223372036854775807", max, false},
+		{"near overflow clamps", "922337203685477580", max, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseTimeoutMS(tc.raw, def, max)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: ParseTimeoutMS(%q) = %v, want error", tc.name, tc.raw, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: ParseTimeoutMS(%q): %v", tc.name, tc.raw, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: ParseTimeoutMS(%q) = %v, want %v", tc.name, tc.raw, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("%s: negative duration %v escaped", tc.name, got)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package asyncnet runs the paper's cluster reformulation protocol as
+// real message passing: an actor-style runtime (one goroutine-or-event
+// driven mailbox per cluster representative, gen_server style) where
+// the request/grant/baseline traffic of §3.2 travels through a
+// pluggable transport with injectable per-link latency, reordering,
+// drops, and straggler peers — all sampled from a seeded stats.RNG so
+// every schedule is replayable.
+//
+// Two scheduler modes drive the same actors:
+//
+//   - Virtual time (the default): a deterministic single-threaded event
+//     queue keyed by (tick, send sequence). Same seed, same inputs →
+//     identical schedule, identical Report. With a zero FaultPlan the
+//     run is byte-identical to the synchronous protocol.Runner oracle —
+//     same final SCost bits, same cluster count, same round and message
+//     counts — which is the property the test suite pins.
+//
+//   - Real time (Options.RealTime): one goroutine and mailbox per
+//     actor, delays mapped onto the wall clock via Options.Tick. No
+//     determinism is claimed; this mode exists to run the identical
+//     protocol logic under the race detector with true concurrency.
+//
+// The decide work reuses core.Evaluator: each representative owns a
+// private (unpruned) evaluator and scans its members under the world's
+// read lock, so concurrent scans in real time are race-free. Grants
+// are applied by the world exactly as protocol.Runner's phase 2 does;
+// each representative decides its own request's fate by simulating the
+// grant phase over its collected view (see rep.go), which is what
+// makes the runtime decentralized in the common case while staying
+// oracle-exact when no messages are lost.
+package asyncnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Options configure a run. Zero values take the documented defaults.
+type Options struct {
+	// Epsilon is the gain threshold ε below which no request is issued.
+	Epsilon float64
+	// MaxRounds caps the run (default 300, mirroring protocol).
+	MaxRounds int
+	// AllowNewClusters enables the empty-cluster creation rule of §3.2.
+	AllowNewClusters bool
+	// Seed drives the transport RNG (fault sampling and straggler
+	// selection). Two virtual-time runs with the same seed, engine and
+	// options produce identical schedules and Reports.
+	Seed uint64
+	// Faults is the injected fault plan; the zero value is a perfect
+	// network.
+	Faults FaultPlan
+	// RoundTimeout is the coordinator's round deadline in ticks;
+	// 0 derives a generous default from the fault plan's latency.
+	RoundTimeout int64
+	// QuiescentRounds terminates after this many consecutive rounds
+	// with no requests and no grants even when round completion could
+	// not be observed (message loss makes the oracle's exact stop
+	// condition unobservable); default 3.
+	QuiescentRounds int
+	// RealTime selects the wall-clock scheduler; Tick is the wall
+	// duration of one virtual tick (default 200µs).
+	RealTime bool
+	Tick     time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon < 0 {
+		panic(fmt.Sprintf("asyncnet: negative epsilon %g", o.Epsilon))
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 300
+	}
+	if o.QuiescentRounds <= 0 {
+		o.QuiescentRounds = 3
+	}
+	if o.Tick <= 0 {
+		o.Tick = 200 * time.Microsecond
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 64 * int64(o.Faults.LatencyMean+o.Faults.LatencyJitter+1)
+	}
+	if o.Faults.StragglerFrac > 0 && o.Faults.StragglerFactor <= 1 {
+		o.Faults.StragglerFactor = 8
+	}
+	return o
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Rounds is the number of rounds opened (including the final
+	// quiescent round that only detects convergence).
+	Rounds int
+	// Converged reports termination by quiescence rather than
+	// MaxRounds.
+	Converged bool
+	// Initial/Final normalized global costs and final cluster count.
+	InitialSCost, InitialWCost float64
+	FinalSCost, FinalWCost     float64
+	FinalClusters              int
+	// Requests and Granted total the relocation requests observed by
+	// the coordinator and the moves actually applied.
+	Requests, Granted int
+	// Messages counts protocol messages — gain reports, request
+	// broadcasts, grant coordination — with the same accounting as
+	// protocol.Report.Messages, so the two are directly comparable.
+	Messages int
+	// Control counts runtime control messages (baselines, round
+	// starts, round dones, grant submissions and notifications).
+	Control int
+	// Transport outcome counters.
+	Delivered, Dropped, Reordered int
+	// Stale counts wrong-round arrivals discarded by actors.
+	Stale int
+	// TimeoutRounds is how many rounds closed on the deadline rather
+	// than full participation; AbandonedRounds how many a
+	// representative had to abandon unfinished; PartialCompletes how
+	// many representative-rounds completed on the local deadline with
+	// a partial view.
+	TimeoutRounds, AbandonedRounds, PartialCompletes int
+	// Stragglers is the number of representatives sampled as slow.
+	Stragglers int
+	// VirtualTicks is the virtual clock at termination (0 in real
+	// time).
+	VirtualTicks uint64
+}
+
+// Net wires one run together: world, transport, scheduler, actors.
+type Net struct {
+	opts  Options
+	strat core.EvalStrategy
+	world *world
+	sched scheduler
+	tr    *transport
+	coord *coordinator
+	reps  map[cluster.CID]*rep
+
+	protoMsgs atomic.Int64
+	control   atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	reordered atomic.Int64
+	stale     atomic.Int64
+	abandoned atomic.Int64
+	partial   atomic.Int64
+}
+
+// repTimeout is a representative's own round deadline: half the
+// coordinator's, so partial completions and their done reports reach
+// the coordinator before it closes the round.
+func (n *Net) repTimeout() int64 {
+	t := n.opts.RoundTimeout / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Run executes one reformulation period over eng — rounds until
+// quiescence or MaxRounds — on the asynchronous runtime and returns
+// its report. The engine is mutated in place (moves are applied as
+// grants are served), exactly like protocol.Runner.Run.
+func Run(eng *core.Engine, strat core.EvalStrategy, opts Options) Report {
+	opts = opts.withDefaults()
+	n := &Net{
+		opts:  opts,
+		strat: strat,
+		world: newWorld(eng),
+		reps:  make(map[cluster.CID]*rep),
+	}
+	if opts.RealTime {
+		n.sched = newRSched(opts.Tick)
+	} else {
+		n.sched = newVSched()
+	}
+	rng := stats.NewRNG(opts.Seed ^ 0xa5a5a5a55a5a5a5a)
+	n.tr = newTransport(n, opts.Faults, rng, eng.Config().Cmax())
+	n.coord = newCoordinator(n)
+	n.sched.register(coordID, n.coord)
+
+	var rpt Report
+	rpt.InitialSCost, rpt.InitialWCost, _ = n.world.costs()
+	n.sched.deliverAfter(coordID, Message{Kind: KindStart}, 0)
+	n.sched.run(func() bool { return n.coord.finished }, n.coord.doneCh)
+	n.sched.shutdown()
+
+	rpt.Rounds = n.coord.rounds
+	rpt.Converged = n.coord.converged
+	rpt.Requests = n.coord.requests
+	rpt.Granted = n.coord.granted
+	rpt.TimeoutRounds = n.coord.timeoutRounds
+	rpt.FinalSCost, rpt.FinalWCost, rpt.FinalClusters = n.world.costs()
+	rpt.Messages = int(n.protoMsgs.Load())
+	rpt.Control = int(n.control.Load())
+	rpt.Delivered = int(n.delivered.Load())
+	rpt.Dropped = int(n.dropped.Load())
+	rpt.Reordered = int(n.reordered.Load())
+	rpt.Stale = int(n.stale.Load())
+	rpt.AbandonedRounds = int(n.abandoned.Load())
+	rpt.PartialCompletes = int(n.partial.Load())
+	rpt.Stragglers = n.tr.stragglers()
+	rpt.VirtualTicks = n.sched.now()
+	return rpt
+}

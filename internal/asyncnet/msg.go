@@ -1,0 +1,291 @@
+package asyncnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the wire format of the runtime's messages, following the
+// replog/viewwire discipline: a versioned binary frame with a strict
+// decoder — truncations, hostile counts, out-of-range values and
+// trailing bytes are errors, never panics or unbounded allocations.
+// The transport round-trips every message through this codec before
+// delivery, so the encoding is on the hot path of every simulated
+// exchange, not test-only decoration.
+//
+//	magic "AN" | format version (1) | kind | fixed field sequence
+//
+// Every field is encoded unconditionally in a fixed order regardless of
+// kind, which keeps the frame trivially canonical for the fields it
+// carries: signed fields as zigzag varints, unsigned as uvarints,
+// floats as 8 little-endian bytes of their IEEE bits, bools as a single
+// 0/1 byte (the decoder rejects anything else), slices as a uvarint
+// length followed by the elements.
+
+// MsgKind discriminates runtime messages.
+type MsgKind byte
+
+const (
+	// KindStart kicks off the coordinator; scheduler-local, never on
+	// the transport.
+	KindStart MsgKind = 1
+	// KindTimer is the coordinator's round deadline; scheduler-local.
+	KindTimer MsgKind = 2
+	// KindBaseline tells a representative a new period began and the
+	// drift baselines were snapshotted.
+	KindBaseline MsgKind = 3
+	// KindRoundStart opens a round: it names the round's
+	// representatives and the empty slots at round start.
+	KindRoundStart MsgKind = 4
+	// KindAnnounce is a representative's phase-1 broadcast — its
+	// cluster's best relocation request, or a bare cid announcement
+	// when HasRequest is false.
+	KindAnnounce MsgKind = 5
+	// KindGrant submits a self-granted relocation for application.
+	KindGrant MsgKind = 6
+	// KindGrantNotify informs the target cluster's representative of a
+	// granted move (coordination traffic; carries no state).
+	KindGrantNotify MsgKind = 7
+	// KindRoundDone reports a representative's round completion.
+	KindRoundDone MsgKind = 8
+)
+
+const kindMax = KindRoundDone
+
+// Req is a relocation request as carried on the wire. It mirrors
+// protocol.Request plus the size of the requesting cluster at decide
+// time, which the decentralized grant simulation needs to track slots
+// emptied mid-round.
+type Req struct {
+	Peer     int32
+	From, To int32
+	Gain     float64
+	// NewCluster marks a request for an empty slot; To is -1 until the
+	// grant phase resolves it.
+	NewCluster bool
+	// Gen is Peer's slot generation at decide time (staleness guard).
+	Gen uint32
+	// FromSize is the size of the From cluster at decide time.
+	FromSize int32
+}
+
+// Message is one runtime message.
+type Message struct {
+	Kind     MsgKind
+	From, To int32 // actor IDs (0 = coordinator, cid+1 = representative)
+	Round    uint32
+
+	// HasRequest and Req are meaningful for KindAnnounce and KindGrant.
+	HasRequest bool
+	Req        Req
+
+	// Reps and Empties are meaningful for KindRoundStart: the cluster
+	// IDs of the round's representatives and the empty slots at round
+	// start, both ascending.
+	Reps    []int32
+	Empties []int32
+
+	// HadRequest and Granted are meaningful for KindRoundDone.
+	HadRequest bool
+	Granted    bool
+}
+
+// WireVersion is the framing version; the decoder rejects others.
+const WireVersion = 1
+
+var msgMagic = [2]byte{'A', 'N'}
+
+// maxSlice bounds the Reps/Empties lengths the decoder accepts.
+const maxSlice = 1 << 20
+
+// AppendMessage encodes m onto dst.
+func AppendMessage(dst []byte, m Message) []byte {
+	dst = append(dst, msgMagic[0], msgMagic[1], WireVersion, byte(m.Kind))
+	dst = binary.AppendVarint(dst, int64(m.From))
+	dst = binary.AppendVarint(dst, int64(m.To))
+	dst = binary.AppendUvarint(dst, uint64(m.Round))
+	dst = appendBool(dst, m.HasRequest)
+	dst = binary.AppendVarint(dst, int64(m.Req.Peer))
+	dst = binary.AppendVarint(dst, int64(m.Req.From))
+	dst = binary.AppendVarint(dst, int64(m.Req.To))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Req.Gain))
+	dst = appendBool(dst, m.Req.NewCluster)
+	dst = binary.AppendUvarint(dst, uint64(m.Req.Gen))
+	dst = binary.AppendVarint(dst, int64(m.Req.FromSize))
+	dst = binary.AppendUvarint(dst, uint64(len(m.Reps)))
+	for _, c := range m.Reps {
+		dst = binary.AppendVarint(dst, int64(c))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Empties)))
+	for _, c := range m.Empties {
+		dst = binary.AppendVarint(dst, int64(c))
+	}
+	dst = appendBool(dst, m.HadRequest)
+	dst = appendBool(dst, m.Granted)
+	return dst
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+var errMsgTruncated = errors.New("asyncnet: truncated message")
+
+type msgReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *msgReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errMsgTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *msgReader) int32() (int32, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errMsgTruncated
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("asyncnet: varint %d outside int32", v)
+	}
+	r.pos += n
+	return int32(v), nil
+}
+
+func (r *msgReader) uint32() (uint32, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("asyncnet: uvarint %d outside uint32", v)
+	}
+	return uint32(v), nil
+}
+
+func (r *msgReader) float64() (float64, error) {
+	if len(r.data)-r.pos < 8 {
+		return 0, errMsgTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *msgReader) bool() (bool, error) {
+	if r.pos >= len(r.data) {
+		return false, errMsgTruncated
+	}
+	b := r.data[r.pos]
+	if b > 1 {
+		return false, fmt.Errorf("asyncnet: bool byte %d", b)
+	}
+	r.pos++
+	return b == 1, nil
+}
+
+func (r *msgReader) cidSlice() ([]int32, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSlice {
+		return nil, fmt.Errorf("asyncnet: slice length %d exceeds limit", n)
+	}
+	// Every element occupies at least one encoded byte.
+	if rem := len(r.data) - r.pos; n > uint64(rem) {
+		return nil, fmt.Errorf("asyncnet: slice length %d exceeds remaining input", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := r.int32()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DecodeMessage parses exactly one message; trailing bytes are an
+// error.
+func DecodeMessage(data []byte) (Message, error) {
+	r := &msgReader{data: data}
+	if len(data) < 4 {
+		return Message{}, errMsgTruncated
+	}
+	if data[0] != msgMagic[0] || data[1] != msgMagic[1] {
+		return Message{}, fmt.Errorf("asyncnet: bad magic %q", data[:2])
+	}
+	if data[2] != WireVersion {
+		return Message{}, fmt.Errorf("asyncnet: unsupported wire version %d (speaking %d)", data[2], WireVersion)
+	}
+	m := Message{Kind: MsgKind(data[3])}
+	if m.Kind == 0 || m.Kind > kindMax {
+		return Message{}, fmt.Errorf("asyncnet: unknown message kind %d", data[3])
+	}
+	r.pos = 4
+	var err error
+	if m.From, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.To, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.Round, err = r.uint32(); err != nil {
+		return Message{}, err
+	}
+	if m.HasRequest, err = r.bool(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.Peer, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.From, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.To, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.Gain, err = r.float64(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.NewCluster, err = r.bool(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.Gen, err = r.uint32(); err != nil {
+		return Message{}, err
+	}
+	if m.Req.FromSize, err = r.int32(); err != nil {
+		return Message{}, err
+	}
+	if m.Reps, err = r.cidSlice(); err != nil {
+		return Message{}, err
+	}
+	if m.Empties, err = r.cidSlice(); err != nil {
+		return Message{}, err
+	}
+	if m.HadRequest, err = r.bool(); err != nil {
+		return Message{}, err
+	}
+	if m.Granted, err = r.bool(); err != nil {
+		return Message{}, err
+	}
+	if r.pos != len(data) {
+		return Message{}, fmt.Errorf("asyncnet: %d trailing bytes after message", len(data)-r.pos)
+	}
+	return m, nil
+}

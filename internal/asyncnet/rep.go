@@ -1,0 +1,257 @@
+package asyncnet
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// rep is one cluster representative: a mailbox-driven actor that runs
+// the phase-1 decide scan for its own members, broadcasts its best
+// request (or a bare announcement) to every other representative, and
+// — once it has heard from all of them or the round moves on — decides
+// the fate of its OWN request by simulating the grant phase locally
+// over the collected view. Each cluster submits at most one request
+// per round, so a representative only ever needs to resolve its own;
+// with full views the simulations at every representative agree with
+// the synchronous serve order exactly, and with partial views (drops,
+// stragglers) a wrong self-grant is caught by the world's authoritative
+// lock check while a missed grant simply re-arises next round.
+type rep struct {
+	n   *Net
+	id  actorID
+	cid cluster.CID
+	ev  *core.Evaluator
+
+	// lastStarted is the highest round this rep has begun; older
+	// round-start and announce arrivals are stale.
+	lastStarted uint32
+	active      bool
+	expected    int
+	seen        int
+	view        []Req
+	ownReq      Req
+	ownHas      bool
+	empties     []cluster.CID
+
+	// pending buffers announces that arrive before their round's
+	// RoundStart (reordering can deliver a fast peer's announce first).
+	pending []Message
+}
+
+const maxPending = 256
+
+func (r *rep) handle(m Message) {
+	switch m.Kind {
+	case KindBaseline:
+		// The period baselines live in the world; the message is the
+		// period-start signal.
+	case KindRoundStart:
+		r.onRoundStart(m)
+	case KindAnnounce:
+		r.onAnnounce(m)
+	case KindTimer:
+		// The representative's own round deadline: complete with
+		// whatever view arrived. Without it, a single lost RoundStart
+		// or announce would stall every peer of the round — no
+		// representative may wait on another's message to guarantee its
+		// own progress. Late timers for finished rounds are expected
+		// and ignored.
+		if r.active && m.Round == r.lastStarted {
+			r.n.partial.Add(1)
+			r.complete()
+		}
+	case KindGrantNotify:
+		// Coordination traffic only; the move is applied by the world.
+	default:
+		r.n.stale.Add(1)
+	}
+}
+
+func (r *rep) onRoundStart(m Message) {
+	if m.Round <= r.lastStarted {
+		r.n.stale.Add(1)
+		return
+	}
+	if r.active {
+		// A newer round superseded one we never finished (our
+		// announcements or peers' were lost, or the deadline fired).
+		r.n.abandoned.Add(1)
+	}
+	r.lastStarted = m.Round
+	r.active = true
+	r.expected = len(m.Reps)
+	r.seen = 1 // our own announcement
+	r.view = r.view[:0]
+	r.empties = r.empties[:0]
+	for _, c := range m.Empties {
+		r.empties = append(r.empties, cluster.CID(c))
+	}
+
+	req, has, gainMsgs := r.n.world.decideCluster(r.n.strat, r.ev, r.cid, r.n.opts.Epsilon, r.n.opts.AllowNewClusters)
+	r.n.protoMsgs.Add(int64(gainMsgs))
+	r.ownReq, r.ownHas = req, has
+	if has {
+		r.view = append(r.view, req)
+	}
+
+	// Broadcast to every other representative — the request, or a bare
+	// cid announcement.
+	for _, c := range m.Reps {
+		if cluster.CID(c) == r.cid {
+			continue
+		}
+		r.n.protoMsgs.Add(1)
+		r.n.tr.send(r.id, actorID(c)+1, Message{
+			Kind: KindAnnounce, Round: m.Round, HasRequest: has, Req: req,
+		})
+	}
+
+	// Replay any early announces buffered for this round, keeping ones
+	// for still-future rounds buffered.
+	pend := r.pending
+	r.pending = r.pending[:0]
+	for _, pm := range pend {
+		switch {
+		case pm.Round > m.Round:
+			r.pending = append(r.pending, pm)
+		case pm.Round == m.Round && r.active:
+			r.onAnnounce(pm)
+		default:
+			r.n.stale.Add(1)
+		}
+	}
+	if r.active && r.seen >= r.expected {
+		r.complete()
+	}
+	if r.active {
+		// Self deadline, off the transport like the coordinator's:
+		// local clocks cannot be dropped or delayed.
+		r.n.sched.deliverAfter(r.id, Message{Kind: KindTimer, Round: m.Round}, r.n.repTimeout())
+	}
+}
+
+func (r *rep) onAnnounce(m Message) {
+	if m.Round > r.lastStarted {
+		if len(r.pending) < maxPending {
+			r.pending = append(r.pending, m)
+		} else {
+			r.n.stale.Add(1)
+		}
+		return
+	}
+	if !r.active || m.Round != r.lastStarted {
+		r.n.stale.Add(1)
+		return
+	}
+	r.seen++
+	if m.HasRequest {
+		r.view = append(r.view, m.Req)
+	}
+	if r.seen >= r.expected {
+		r.complete()
+	}
+}
+
+// complete closes the round at this representative: simulate the grant
+// phase, submit a self-granted move, and report done to the
+// coordinator.
+func (r *rep) complete() {
+	r.active = false
+	granted := false
+	if r.ownHas {
+		granted = simulateGrant(r.view, int32(r.cid), r.empties)
+		if granted {
+			r.n.control.Add(1)
+			r.n.tr.send(r.id, coordID, Message{
+				Kind: KindGrant, Round: r.lastStarted, HasRequest: true, Req: r.ownReq,
+			})
+			if !r.ownReq.NewCluster {
+				r.n.control.Add(1)
+				r.n.tr.send(r.id, actorID(r.ownReq.To)+1, Message{
+					Kind: KindGrantNotify, Round: r.lastStarted, Req: r.ownReq,
+				})
+			}
+		}
+	}
+	r.n.control.Add(1)
+	r.n.tr.send(r.id, coordID, Message{
+		Kind: KindRoundDone, Round: r.lastStarted, HadRequest: r.ownHas, Granted: granted,
+	})
+}
+
+// simulateGrant replays the grant phase over the collected view and
+// reports whether self's request is granted. It mirrors the world's
+// serveRound decision sequence exactly: requests in (gain desc, peer
+// asc) order under the cycle-avoiding lock rule, with NewCluster
+// requests resolving the lowest-index empty slot as it would exist at
+// that point of the serve order — the round-start empties, plus slots
+// emptied by earlier granted moves out of singleton clusters, minus
+// slots consumed by earlier granted NewCluster requests. With a
+// complete view this reproduces the oracle's serve loop state
+// machine, so every representative reaches the oracle's verdict for
+// its own request.
+func simulateGrant(view []Req, self int32, startEmpties []cluster.CID) bool {
+	reqs := make([]Req, len(view))
+	copy(reqs, view)
+	sortReqs(reqs)
+	avail := make([]cluster.CID, len(startEmpties))
+	copy(avail, startEmpties)
+	joinLocked := make(map[int32]bool, len(reqs))
+	leaveLocked := make(map[int32]bool, len(reqs))
+	for _, req := range reqs {
+		to := req.To
+		if req.NewCluster {
+			slot, ok := minCID(avail)
+			if !ok {
+				if req.From == self {
+					return false
+				}
+				continue
+			}
+			to = int32(slot)
+		}
+		if leaveLocked[req.From] || joinLocked[to] {
+			if req.From == self {
+				return false
+			}
+			continue
+		}
+		// Granted: lock both ends, consume a resolved empty slot, and
+		// free the From slot if the move empties it.
+		joinLocked[req.From] = true
+		leaveLocked[to] = true
+		if req.NewCluster {
+			avail = removeCID(avail, cluster.CID(to))
+		}
+		if req.FromSize == 1 {
+			avail = append(avail, cluster.CID(req.From))
+		}
+		if req.From == self {
+			return true
+		}
+	}
+	return false
+}
+
+func minCID(s []cluster.CID) (cluster.CID, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	best := s[0]
+	for _, c := range s[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	return best, true
+}
+
+func removeCID(s []cluster.CID, c cluster.CID) []cluster.CID {
+	for i, v := range s {
+		if v == c {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

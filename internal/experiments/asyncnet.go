@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// asyncNetProfiles are the fault plans the asyncnet driver sweeps:
+// a perfect network (which must reproduce the oracle exactly), a
+// latency+reordering plan, and a lossy plan with drops and straggler
+// representatives.
+func asyncNetProfiles() []struct {
+	name string
+	plan asyncnet.FaultPlan
+} {
+	return []struct {
+		name string
+		plan asyncnet.FaultPlan
+	}{
+		{"async/ideal", asyncnet.FaultPlan{}},
+		{"async/latency", asyncnet.FaultPlan{
+			LatencyMean: 3, LatencyJitter: 2, ReorderProb: 0.15,
+		}},
+		{"async/lossy", asyncnet.FaultPlan{
+			LatencyMean: 3, LatencyJitter: 2, ReorderProb: 0.10,
+			DropProb: 0.03, StragglerFrac: 0.10, StragglerFactor: 8,
+		}},
+	}
+}
+
+// RunAsyncNet measures the actor-runtime execution of the protocol
+// (internal/asyncnet) against the synchronous oracle: per scenario, one
+// oracle row plus one row per fault profile, reporting convergence
+// quality (ΔSCost vs the oracle), round/move/message counts and
+// transport losses. The ideal-network rows are byte-identical to the
+// oracle rows by construction — the property the asyncnet test suite
+// pins — so any divergence in this table is injected faults at work,
+// not runtime drift.
+func RunAsyncNet(p Params) *metrics.Table {
+	t := metrics.NewTable("Extension: asynchronous actor runtime vs synchronous oracle (singleton init, selfish, virtual time)",
+		"scenario", "mode", "converged", "rounds", "moves", "#clusters", "SCost", "dSCost", "msgs", "dropped")
+	scenarios := []Scenario{SameCategory, DifferentCategory, Uniform}
+	profiles := asyncNetProfiles()
+	perScenario := 1 + len(profiles)
+	systems := buildSystems(p, scenarios, p.workerCount())
+	for _, row := range p.runRows(perScenario*len(scenarios), func(i int) []string {
+		sc := scenarios[i/perScenario]
+		sys := systems[i/perScenario]
+		mode := i % perScenario
+		// Every cell runs the oracle on a private engine: mode 0
+		// reports it, fault cells report their delta against it.
+		rng := stats.NewRNG(p.Seed ^ 0x3c6ef372fe94f82a)
+		engOracle := sys.NewEngine(sys.InitialConfig(InitSingletons, rng))
+		oracle := sys.NewRunner(engOracle, core.NewSelfish(), true).Run()
+		if mode == 0 {
+			moves := 0
+			for _, rr := range oracle.Rounds {
+				moves += rr.Granted
+			}
+			return []string{sc.String(), "oracle(sync)", fmt.Sprint(oracle.Converged),
+				metrics.I(oracle.RoundsRun), metrics.I(moves),
+				metrics.I(oracle.FinalClusters), metrics.F(oracle.FinalSCost, 3),
+				metrics.F(0, 3), metrics.I(oracle.Messages), metrics.I(0)}
+		}
+		prof := profiles[mode-1]
+		rng = stats.NewRNG(p.Seed ^ 0x3c6ef372fe94f82a)
+		engAsync := sys.NewEngine(sys.InitialConfig(InitSingletons, rng))
+		rpt := asyncnet.Run(engAsync, core.NewSelfish(), asyncnet.Options{
+			Epsilon:          p.Epsilon,
+			MaxRounds:        p.MaxRounds,
+			AllowNewClusters: true,
+			Seed:             p.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)),
+			Faults:           prof.plan,
+		})
+		return []string{sc.String(), prof.name, fmt.Sprint(rpt.Converged),
+			metrics.I(rpt.Rounds), metrics.I(rpt.Granted),
+			metrics.I(rpt.FinalClusters), metrics.F(rpt.FinalSCost, 3),
+			metrics.F(rpt.FinalSCost-oracle.FinalSCost, 3),
+			metrics.I(rpt.Messages), metrics.I(rpt.Dropped)}
+	}) {
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -308,6 +308,56 @@ func TestAblationDriversRun(t *testing.T) {
 	}
 }
 
+// TestAsyncDriversDeterministicAcrossWorkers pins that the async
+// drivers' output is byte-identical for every worker-pool size: each
+// cell derives its randomness from (Seed, cell index) alone, so the
+// parallel schedule must be unobservable in the tables.
+func TestAsyncDriversDeterministicAcrossWorkers(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 60
+	run := func(workers int) (string, string) {
+		q := p
+		q.Workers = workers
+		return RunAsyncComparison(q).CSV(), RunAsyncNet(q).CSV()
+	}
+	cmp1, net1 := run(1)
+	for _, workers := range []int{2, 4} {
+		cmpN, netN := run(workers)
+		if cmpN != cmp1 {
+			t.Errorf("RunAsyncComparison diverges at Workers=%d:\n%s\nvs Workers=1:\n%s", workers, cmpN, cmp1)
+		}
+		if netN != net1 {
+			t.Errorf("RunAsyncNet diverges at Workers=%d:\n%s\nvs Workers=1:\n%s", workers, netN, net1)
+		}
+	}
+}
+
+// TestAsyncNetDriverShape pins the asyncnet table layout: per scenario
+// one oracle row plus one row per fault profile, with the ideal-network
+// row reproducing the oracle row's metrics exactly.
+func TestAsyncNetDriverShape(t *testing.T) {
+	p := fastParams()
+	p.MaxRounds = 60
+	tb := RunAsyncNet(p)
+	perScenario := 1 + len(asyncNetProfiles())
+	if len(tb.Rows) != 3*perScenario {
+		t.Fatalf("rows=%d, want %d", len(tb.Rows), 3*perScenario)
+	}
+	for s := 0; s < 3; s++ {
+		oracle, ideal := tb.Rows[s*perScenario], tb.Rows[s*perScenario+1]
+		// converged, rounds, moves, #clusters, SCost, msgs must match
+		// the oracle on the ideal network (columns 2..6 and 8).
+		for _, col := range []int{2, 3, 4, 5, 6, 8} {
+			if oracle[col] != ideal[col] {
+				t.Errorf("scenario %s col %d: ideal %q vs oracle %q", oracle[0], col, ideal[col], oracle[col])
+			}
+		}
+		if ideal[7] != "0.000" {
+			t.Errorf("scenario %s: ideal dSCost %q, want 0.000", oracle[0], ideal[7])
+		}
+	}
+}
+
 func TestRoutingAblationErrorShrinksWithBudget(t *testing.T) {
 	p := fastParams()
 	p.MaxRounds = 40

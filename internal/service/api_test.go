@@ -78,6 +78,11 @@ func TestV1ErrorEnvelope(t *testing.T) {
 		{"watch bad seq", "GET", "/v1/view/watch?seq=abc", "", http.StatusBadRequest, api.CodeBadParam},
 		{"watch bad pop", "GET", "/v1/view/watch?pop=-3", "", http.StatusBadRequest, api.CodeBadParam},
 		{"watch bad timeout", "GET", "/v1/view/watch?timeout_ms=nope", "", http.StatusBadRequest, api.CodeBadParam},
+		{"watch negative timeout", "GET", "/v1/view/watch?timeout_ms=-1", "", http.StatusBadRequest, api.CodeBadParam},
+		{"watch timeout beyond int64", "GET", "/v1/view/watch?timeout_ms=9223372036854775808", "", http.StatusBadRequest, api.CodeBadParam},
+		{"replog bad timeout", "GET", "/v1/replog/watch?timeout_ms=nope", "", http.StatusBadRequest, api.CodeBadParam},
+		{"replog negative timeout", "GET", "/v1/replog/watch?timeout_ms=-1", "", http.StatusBadRequest, api.CodeBadParam},
+		{"replog timeout beyond int64", "GET", "/v1/replog/watch?timeout_ms=9223372036854775808", "", http.StatusBadRequest, api.CodeBadParam},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,9 +109,9 @@ func TestV1ErrorEnvelope(t *testing.T) {
 				t.Fatalf("envelope shape: %s", body)
 			}
 			// The deprecated alias answers byte-identically (view/watch
-			// is v1-only).
+			// and replog/watch are v1-only).
 			legacy := strings.TrimPrefix(tc.path, "/v1")
-			if strings.HasPrefix(legacy, "/view/") {
+			if strings.HasPrefix(legacy, "/view/") || strings.HasPrefix(legacy, "/replog/") {
 				return
 			}
 			lstatus, lbody, lhdr := rawDo(t, ts, tc.method, legacy, tc.body)

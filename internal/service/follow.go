@@ -97,6 +97,10 @@ func (s *Server) applyReplogRecord(rec replog.Record) error {
 // asserts the follower's log position is against that instance's
 // history; without it the server responds with a snapshot record.
 func (s *Server) fetchReplog(ctx context.Context, client *http.Client, upstream, epoch string) (rec replog.Record, status int, hint time.Duration, newEpoch string, err error) {
+	// timeout_ms is always watchDefaultTimeout, well under the server's
+	// watchMaxTimeout clamp and under the http.Client.Timeout in
+	// followLoop, so the client deadline never fires before a healthy
+	// upstream answers.
 	url := upstream + "/v1/replog/watch?timeout_ms=" +
 		strconv.FormatInt(watchDefaultTimeout.Milliseconds(), 10)
 	if epoch != "" {

@@ -1,9 +1,10 @@
 package service
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -60,11 +61,19 @@ const (
 	replogRetain = 4096
 )
 
-// newEpoch draws a random instance epoch. Zero is reserved ("no
-// epoch"), so it is never returned.
+// newEpoch draws a random instance epoch from the OS entropy source.
+// Zero is reserved ("no epoch"), so it is never returned. The global
+// math/rand source is deliberately avoided: epochs must be distinct
+// across instances even when processes share a seeding strategy, and
+// nothing else in the process may perturb (or be perturbed by) the
+// draw.
 func newEpoch() uint64 {
+	var buf [8]byte
 	for {
-		if e := rand.Uint64(); e != 0 {
+		if _, err := crand.Read(buf[:]); err != nil {
+			panic(fmt.Sprintf("service: reading entropy for epoch: %v", err))
+		}
+		if e := binary.LittleEndian.Uint64(buf[:]); e != 0 {
 			return e
 		}
 	}
@@ -436,14 +445,10 @@ func (s *Server) handleReplogWatch(w http.ResponseWriter, r *http.Request) {
 		// this instance's history.
 		positioned = false
 	}
-	timeout := watchDefaultTimeout
-	if raw := q.Get("timeout_ms"); raw != "" {
-		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			api.Error(w, http.StatusBadRequest, api.CodeBadParam, "bad timeout_ms %q", raw)
-			return
-		}
-		timeout = min(time.Duration(n)*time.Millisecond, watchMaxTimeout)
+	timeout, err := api.ParseTimeoutMS(q.Get("timeout_ms"), watchDefaultTimeout, watchMaxTimeout)
+	if err != nil {
+		api.Error(w, http.StatusBadRequest, api.CodeBadParam, "%v", err)
+		return
 	}
 
 	deadline := time.NewTimer(timeout)

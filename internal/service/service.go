@@ -837,14 +837,10 @@ func (s *Server) handleViewWatch(w http.ResponseWriter, r *http.Request) {
 		// nothing here. Treat as first contact.
 		seq, pop = 0, 0
 	}
-	timeout := watchDefaultTimeout
-	if raw := q.Get("timeout_ms"); raw != "" {
-		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			api.Error(w, http.StatusBadRequest, api.CodeBadParam, "bad timeout_ms %q", raw)
-			return
-		}
-		timeout = min(time.Duration(n)*time.Millisecond, watchMaxTimeout)
+	timeout, err := api.ParseTimeoutMS(q.Get("timeout_ms"), watchDefaultTimeout, watchMaxTimeout)
+	if err != nil {
+		api.Error(w, http.StatusBadRequest, api.CodeBadParam, "%v", err)
+		return
 	}
 
 	deadline := time.NewTimer(timeout)
