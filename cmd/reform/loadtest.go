@@ -51,6 +51,8 @@ func runLoadtestCommand(args []string) {
 	duration := fs.Duration("duration", 0, "run for a fixed wall-clock time instead of a request count")
 	batch := fs.Int("batch", 0, "queries per request: 0 or 1 posts /query, larger posts /query/batch")
 	seed := fs.Uint64("seed", 1, "workload replay seed; equal seeds replay equal query sequences")
+	zipfS := fs.Float64("zipf", 0, "draw replayed queries from a fixed pool with Zipf(s) rank skew (0: fresh uniform queries; s>=1 concentrates most load on a few hot queries); seeded and replayable")
+	routeCache := fs.Int("route-cache", 4096, "route-cache entries of the in-process daemon (0 disables; ignored with -addr)")
 	maintain := fs.Duration("maintain", 0, "POST /reform on this interval during the load (0: off)")
 	churn := fs.Duration("churn", 0, "join+leave one peer on this interval during the load (0: off)")
 	stepBudget := fs.Int("step-budget", 0, "maintenance step budget of the in-process daemon (0: service default; negative: whole periods under one lock hold)")
@@ -60,6 +62,10 @@ func runLoadtestCommand(args []string) {
 	fs.Parse(args)
 	if *batch < 0 || *workers <= 0 {
 		fmt.Fprintln(os.Stderr, "loadtest: -batch must be >= 0 and -workers > 0")
+		os.Exit(2)
+	}
+	if *zipfS < 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -zipf must be >= 0")
 		os.Exit(2)
 	}
 	if *routerN > 0 && *routerAddrs != "" {
@@ -75,7 +81,11 @@ func runLoadtestCommand(args []string) {
 	base := *addr
 	client := &http.Client{Timeout: 30 * time.Second}
 	if base == "" {
-		srv := service.New(service.Config{StepBudget: *stepBudget})
+		cacheEntries := *routeCache
+		if cacheEntries == 0 {
+			cacheEntries = -1 // flag 0 = off; Config 0 = default size
+		}
+		srv := service.New(service.Config{StepBudget: *stepBudget, RouteCache: cacheEntries})
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL
@@ -188,14 +198,36 @@ func runLoadtestCommand(args []string) {
 	if *batch > 1 {
 		path = "/v1/query/batch"
 	}
+	freshQuery := func(rng *stats.RNG) map[string]any {
+		cat := rng.Intn(*categories)
+		terms := []string{term(cat, rng.Intn(6))}
+		if rng.Intn(3) == 0 {
+			terms = append(terms, term(cat, rng.Intn(6)))
+		}
+		return map[string]any{"terms": terms}
+	}
+	// With -zipf the workers draw from one fixed query pool with
+	// Zipf-skewed ranks instead of generating fresh uniform queries:
+	// the hot head of the pool dominates the load, which is exactly the
+	// traffic the view-epoch route cache exists for. Pool and ranks
+	// both derive from -seed, so runs replay exactly.
+	const zipfPoolSize = 512
+	var zipfPool []map[string]any
+	var zipf *stats.Zipf
+	if *zipfS > 0 {
+		prng := stats.NewRNG(*seed ^ 0x51bf)
+		zipfPool = make([]map[string]any, zipfPoolSize)
+		for i := range zipfPool {
+			zipfPool[i] = freshQuery(prng)
+		}
+		zipf = stats.NewZipf(zipfPoolSize, *zipfS)
+	}
 	makeBody := func(rng *stats.RNG) []byte {
 		one := func() map[string]any {
-			cat := rng.Intn(*categories)
-			terms := []string{term(cat, rng.Intn(6))}
-			if rng.Intn(3) == 0 {
-				terms = append(terms, term(cat, rng.Intn(6)))
+			if zipf != nil {
+				return zipfPool[zipf.Sample(rng)]
 			}
-			return map[string]any{"terms": terms}
+			return freshQuery(rng)
 		}
 		var v any
 		if *batch > 1 {
@@ -430,6 +462,7 @@ func runLoadtestCommand(args []string) {
 			p99, _ := lk["p99_us"].(float64)
 			fmt.Printf("  lock holds  n=%.0f mean %.1fus p99 %.1fus\n", holds, mean, p99)
 		}
+		printCacheStats("  ", st)
 		if *maintain > 0 {
 			if mt, ok := st["maintenance"].(map[string]any); ok {
 				scanned, _ := mt["scanned"].(float64)
@@ -452,6 +485,7 @@ func runLoadtestCommand(args []string) {
 			fmt.Printf("router %d: synced=%v view_seq=%v full_syncs=%v delta_syncs=%v sync_errors=%v queries_served=%v\n",
 				i, st["synced"], st["view_seq"], st["full_syncs"], st["delta_syncs"],
 				st["sync_errors"], st["queries_served"])
+			printCacheStats("  ", st)
 		}
 	}
 	if errs > 0 || mutErrs.Load() > 0 || verifyFailed {
@@ -480,6 +514,29 @@ func post(client *http.Client, url string) bool {
 	}
 	drain(resp)
 	return resp.StatusCode == http.StatusOK
+}
+
+// printCacheStats renders a /v1/stats payload's route_cache block (the
+// daemon's and each router's): hit rate alongside the raw counters.
+func printCacheStats(indent string, st map[string]any) {
+	rc, ok := st["route_cache"].(map[string]any)
+	if !ok {
+		return
+	}
+	if on, _ := rc["enabled"].(bool); !on {
+		fmt.Printf("%sroute cache disabled\n", indent)
+		return
+	}
+	hits, _ := rc["hits"].(float64)
+	misses, _ := rc["misses"].(float64)
+	evictions, _ := rc["evictions"].(float64)
+	bypasses, _ := rc["bypasses"].(float64)
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * hits / (hits + misses)
+	}
+	fmt.Printf("%sroute cache hit rate %.1f%% (%.0f hits, %.0f misses, %.0f evictions, %.0f bypasses)\n",
+		indent, rate, hits, misses, evictions, bypasses)
 }
 
 func fetchStats(client *http.Client, base string) map[string]any {

@@ -27,6 +27,7 @@ func runRouteCommand(args []string) {
 	upstream := fs.String("upstream", "http://localhost:8080", "comma-separated daemon base URLs; the sync loop rotates to the next on failure")
 	pollTimeout := fs.Duration("poll-timeout", 25*time.Second, "watch long-poll timeout requested upstream")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff between failed syncs and the Retry-After advertised while unsynchronized")
+	routeCache := fs.Int("route-cache", 4096, "view-epoch hot-query result cache entries (0 disables; answers are byte-identical either way)")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "reform-route ", log.LstdFlags)
@@ -36,10 +37,15 @@ func runRouteCommand(args []string) {
 			upstreams = append(upstreams, strings.TrimRight(u, "/"))
 		}
 	}
+	cacheEntries := *routeCache
+	if cacheEntries == 0 {
+		cacheEntries = -1 // flag 0 = off; Config 0 = default size
+	}
 	rt := router.New(router.Config{
 		Upstreams:   upstreams,
 		PollTimeout: *pollTimeout,
 		RetryAfter:  *retryAfter,
+		RouteCache:  cacheEntries,
 		Logf:        logger.Printf,
 	})
 	rt.Start()

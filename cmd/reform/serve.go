@@ -35,6 +35,7 @@ func runServeCommand(args []string) {
 	compactEvery := fs.Duration("compact-every", time.Minute, "workload-compaction check interval (0: only after maintenance periods and via POST /compact)")
 	compactRatio := fs.Float64("compact-ratio", 0.5, "dead-QID fraction above which a check compacts (negative: compact whenever any dead query exists)")
 	compactMin := fs.Int("compact-min", 64, "suppress threshold compactions below this many distinct queries")
+	routeCache := fs.Int("route-cache", 4096, "view-epoch hot-query result cache entries (0 disables; answers are byte-identical either way)")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "reform-serve ", log.LstdFlags)
@@ -62,7 +63,11 @@ func runServeCommand(args []string) {
 		CompactEvery:      *compactEvery,
 		CompactDeadRatio:  *compactRatio,
 		CompactMinQueries: *compactMin,
+		RouteCache:        *routeCache,
 		Logf:              logger.Printf,
+	}
+	if *routeCache == 0 {
+		cfg.RouteCache = -1 // flag 0 = off; Config 0 = default size
 	}
 	if *join != "" {
 		for _, u := range strings.Split(*join, ",") {

@@ -71,25 +71,31 @@ func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 // PutScratch returns a borrowed scratch to the pool.
 func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
 
-// AnswerQuery evaluates terms against the view and returns the
-// routing answer. The response's Clusters slice aliases sc and is
-// valid until sc's next use; callers that retain answers (the batch
-// path) copy it out. Unknown terms cannot match anything (items only
-// contain interned attributes), so any unknown term yields the empty
-// answer. The call is allocation-free at steady state.
-func AnswerQuery(terms map[string]attr.ID, rv *core.RoutingView, raw []string, sc *Scratch) QueryResponse {
+// emptyHits is the shared empty answer (non-nil so it marshals as
+// []); it is only ever read.
+var emptyHits = []ClusterHit{}
+
+// resolve renders raw query terms into a canonical attribute set.
+// Unknown terms cannot match anything (items only contain interned
+// attributes), so any unknown term resolves to ok=false and the
+// caller answers empty without routing.
+func (sc *Scratch) resolve(terms map[string]attr.ID, raw []string) (q attr.Set, ok bool) {
 	sc.ids = sc.ids[:0]
 	for _, t := range raw {
-		id, ok := terms[t]
-		if !ok {
-			sc.hits = sc.hits[:0]
-			return QueryResponse{Clusters: sc.hits}
+		id, known := terms[t]
+		if !known {
+			return attr.Set{}, false
 		}
 		sc.ids = append(sc.ids, id)
 	}
 	slices.Sort(sc.ids)
-	q := attr.FromSorted(slices.Compact(sc.ids))
-	total, hits := rv.Route(q, &sc.route)
+	return attr.FromSorted(slices.Compact(sc.ids)), true
+}
+
+// answerResolved routes an already-resolved query (through the cache
+// when one is supplied) and renders the cluster hits into sc.
+func answerResolved(rv *core.RoutingView, cache *core.RouteCache, q attr.Set, sc *Scratch) QueryResponse {
+	total, hits := rv.RouteCached(q, cache, &sc.route)
 	sc.hits = sc.hits[:0]
 	for _, h := range hits {
 		sc.hits = append(sc.hits, ClusterHit{
@@ -102,11 +108,26 @@ func AnswerQuery(terms map[string]attr.ID, rv *core.RoutingView, raw []string, s
 	return QueryResponse{Total: total, Clusters: sc.hits}
 }
 
+// AnswerQuery evaluates terms against the view and returns the
+// routing answer, consulting cache (which may be nil) for repeated
+// queries against the same view. The response's Clusters slice
+// aliases sc and is valid until sc's next use; callers that retain
+// answers (the batch path) copy it out. Unknown terms yield the empty
+// answer. The call is allocation-free at steady state.
+func AnswerQuery(terms map[string]attr.ID, rv *core.RoutingView, cache *core.RouteCache, raw []string, sc *Scratch) QueryResponse {
+	q, ok := sc.resolve(terms, raw)
+	if !ok {
+		sc.hits = sc.hits[:0]
+		return QueryResponse{Clusters: sc.hits}
+	}
+	return answerResolved(rv, cache, q, sc)
+}
+
 // ServeQuery implements the POST /v1/query data-plane endpoint over
 // one published (terms, view) snapshot: decode, validate, answer,
 // encode. It returns the number of queries answered (0 when the
 // request was rejected), for the caller's served counter.
-func ServeQuery(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID, rv *core.RoutingView) int {
+func ServeQuery(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID, rv *core.RoutingView, cache *core.RouteCache) int {
 	var req QueryRequest
 	if !DecodeStrict(w, r, "query", &req) {
 		return 0
@@ -116,7 +137,7 @@ func ServeQuery(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID
 		return 0
 	}
 	sc := GetScratch()
-	resp := AnswerQuery(terms, rv, req.Terms, sc)
+	resp := AnswerQuery(terms, rv, cache, req.Terms, sc)
 	WriteJSON(w, http.StatusOK, resp)
 	PutScratch(sc)
 	return 1
@@ -125,8 +146,12 @@ func ServeQuery(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID
 // ServeQueryBatch implements POST /v1/query/batch: up to
 // MaxBatchQueries queries answered from one (terms, view) snapshot,
 // so the batch is internally consistent even while mutations land
-// concurrently. It returns the number of queries answered.
-func ServeQueryBatch(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID, rv *core.RoutingView) int {
+// concurrently. Duplicate queries within a batch (same canonical
+// attribute set, whatever the term order or repetition) are routed
+// once and share the answer — legal precisely because the whole batch
+// is served from one snapshot. It returns the number of queries
+// answered.
+func ServeQueryBatch(w http.ResponseWriter, r *http.Request, terms map[string]attr.ID, rv *core.RoutingView, cache *core.RouteCache) int {
 	var req BatchRequest
 	if !DecodeStrict(w, r, "batch", &req) {
 		return 0
@@ -148,12 +173,47 @@ func ServeQueryBatch(w http.ResponseWriter, r *http.Request, terms map[string]at
 	}
 	sc := GetScratch()
 	results := make([]QueryResponse, len(req.Queries))
+	var seen map[string]int // canonical key -> index of first occurrence
+	if len(req.Queries) > 1 {
+		seen = make(map[string]int, len(req.Queries))
+	}
+	var kb []byte
 	for i := range req.Queries {
-		resp := AnswerQuery(terms, rv, req.Queries[i].Terms, sc)
+		q, ok := sc.resolve(terms, req.Queries[i].Terms)
+		if !ok {
+			results[i] = QueryResponse{Clusters: emptyHits}
+			continue
+		}
+		if seen != nil {
+			kb = q.AppendKey(kb[:0])
+			if j, dup := seen[string(kb)]; dup {
+				results[i] = results[j]
+				continue
+			}
+			seen[string(kb)] = i
+		}
+		resp := answerResolved(rv, cache, q, sc)
 		resp.Clusters = append(make([]ClusterHit, 0, len(resp.Clusters)), resp.Clusters...)
 		results[i] = resp
 	}
 	PutScratch(sc)
 	WriteJSON(w, http.StatusOK, BatchResponse{Results: results})
 	return len(req.Queries)
+}
+
+// CacheStatsMap renders a route cache's counters for a /v1/stats
+// payload; a nil cache reports itself disabled.
+func CacheStatsMap(c *core.RouteCache) map[string]any {
+	if c == nil {
+		return map[string]any{"enabled": false}
+	}
+	st := c.Stats()
+	return map[string]any{
+		"enabled":   true,
+		"capacity":  st.Capacity,
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"evictions": st.Evictions,
+		"bypasses":  st.Bypasses,
+	}
 }

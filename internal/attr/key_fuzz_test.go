@@ -1,0 +1,74 @@
+package attr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzQueryKey fuzzes the canonical query-key encoding that the route
+// cache and the batch deduper key on. The contract under test: Key and
+// AppendKey emit identical bytes; the key is canonical (any ordering
+// or duplication of the same IDs encodes identically); it round-trips
+// (the decimal encoding parses back to exactly the set's IDs); and it
+// is injective (two sets share a key iff they are equal) — the
+// property that makes a cache hit safe to serve.
+func FuzzQueryKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 255, 255, 255, 255})
+	f.Add([]byte{0, 0, 0, 7, 0, 0, 0, 3, 0, 0, 0, 7, 127, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the corpus bytes into IDs: 4-byte big-endian chunks,
+		// masked non-negative (negative IDs never exist; the vocab
+		// interns densely from 0).
+		var ids []ID
+		for len(data) >= 4 {
+			ids = append(ids, ID(binary.BigEndian.Uint32(data)&0x7fffffff))
+			data = data[4:]
+		}
+		s := NewSet(ids...)
+
+		key := s.Key()
+		if got := string(s.AppendKey(nil)); got != key {
+			t.Fatalf("AppendKey %q != Key %q", got, key)
+		}
+		if got := s.AppendKey(append([]byte(nil), "prefix-"...)); !bytes.Equal(got, append([]byte("prefix-"), key...)) {
+			t.Fatalf("AppendKey onto a prefix produced %q, want %q", got, "prefix-"+key)
+		}
+
+		// Canonical: reversing (and duplicating) the input IDs must not
+		// change the key.
+		rev := make([]ID, 0, 2*len(ids))
+		for i := len(ids) - 1; i >= 0; i-- {
+			rev = append(rev, ids[i], ids[i])
+		}
+		if got := NewSet(rev...).Key(); got != key {
+			t.Fatalf("key not canonical: %q (forward) vs %q (reversed+duplicated)", key, got)
+		}
+
+		// Round-trip: parse the decimal encoding back.
+		var parsed []ID
+		if key != "" {
+			for _, part := range strings.Split(key, ",") {
+				n, err := strconv.ParseInt(part, 10, 32)
+				if err != nil {
+					t.Fatalf("key %q has unparsable element %q: %v", key, part, err)
+				}
+				parsed = append(parsed, ID(n))
+			}
+		}
+		if !s.Equal(NewSet(parsed...)) {
+			t.Fatalf("key %q round-tripped to %v, want %v", key, parsed, s.IDs())
+		}
+
+		// Injective: split the IDs in two halves; their keys agree iff
+		// the sets agree.
+		a, b := NewSet(ids[:len(ids)/2]...), NewSet(ids[len(ids)/2:]...)
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("injectivity broken: %v vs %v, keys %q vs %q", a.IDs(), b.IDs(), a.Key(), b.Key())
+		}
+	})
+}

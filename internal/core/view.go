@@ -51,6 +51,7 @@ type RouteHit struct {
 type RouteScratch struct {
 	results []int // dense per-CID accumulator, all-zero between calls
 	hits    []RouteHit
+	key     []byte // canonical query key buffer (RouteCached)
 }
 
 // RoutingView is an immutable snapshot of the query-routing state.
@@ -126,20 +127,49 @@ func (v *RoutingView) NumClusters() int { return len(v.nonEmpty) }
 // over all live peers and, per non-empty cluster holding results, its
 // hit. Hits are in ascending cluster order — the same order the
 // engine's locked path reports. The hit slice is owned by sc and
-// valid until its next Route; cost is bounded by the posting list of
-// q's first attribute, and the call allocates nothing at steady
-// state. An empty query or one whose first attribute no live peer
-// holds yields (0, empty).
+// valid until its next Route, and the call allocates nothing at
+// steady state.
+//
+// The scan is driven from the query's rarest attribute: a peer can
+// only contribute results if some item holds every attribute of q, so
+// every candidate appears in every one of q's posting lists and
+// scanning the shortest visits them all. Cost is therefore bounded by
+// the SHORTEST posting list among q's attributes (an O(|q|) argmin
+// picks it), not the first — under skewed traffic, where popular
+// queries tend to lead with popular (long-posting) attributes, that
+// is the difference between scanning the hottest list and the
+// coldest. The answer is byte-identical to a scan of any other of
+// q's posting lists (hit order comes from the non-empty cluster walk,
+// and per-cluster sums are order-independent). An empty query, or one
+// with any attribute no live peer holds — including attribute IDs the
+// view has never seen, e.g. from a router whose vocabulary ran ahead
+// of this snapshot — yields (0, empty); unknown attributes can never
+// panic the read path.
 func (v *RoutingView) Route(q attr.Set, sc *RouteScratch) (total int, hits []RouteHit) {
 	sc.hits = sc.hits[:0]
 	ids := q.IDs()
 	if len(ids) == 0 {
 		return 0, sc.hits
 	}
+	// BuildRoutingView never stores empty posting lists, so a missing
+	// map entry means "no live peer holds this attribute" — and any
+	// empty list, including the running minimum, ends the query early.
+	scan := v.postings[ids[0]]
+	for _, id := range ids[1:] {
+		if len(scan) == 0 {
+			break
+		}
+		if lst := v.postings[id]; len(lst) < len(scan) {
+			scan = lst
+		}
+	}
+	if len(scan) == 0 {
+		return 0, sc.hits
+	}
 	if len(sc.results) < len(v.sizes) {
 		sc.results = make([]int, len(v.sizes))
 	}
-	for _, pid := range v.postings[ids[0]] {
+	for _, pid := range scan {
 		if res := v.peers[pid].ResultCountRO(q); res > 0 {
 			sc.results[v.clusterOf[pid]] += res
 			total += res

@@ -63,6 +63,12 @@ type Config struct {
 	// Client is the HTTP client used upstream; nil means a dedicated
 	// client with sane long-poll timeouts.
 	Client *http.Client
+	// RouteCache sizes the replica's view-epoch hot-query result cache
+	// (entries; rounded up to a power of two). 0 means the default
+	// 4096; negative disables caching. Because every applied
+	// replication record publishes a fresh *core.RoutingView, cached
+	// answers stay byte-identical to uncached routing automatically.
+	RouteCache int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -115,6 +121,10 @@ type Router struct {
 	// full record lands); the data plane loads it once per request.
 	view atomic.Pointer[syncedView]
 
+	// cache is the replica's view-epoch hot-query result cache (nil
+	// when Config.RouteCache < 0).
+	cache *core.RouteCache
+
 	// upstream is the rotation member the sync loop currently follows.
 	upstream atomic.Value // string
 
@@ -140,6 +150,9 @@ type Router struct {
 // New builds a Router; call Start to launch the sync loop.
 func New(cfg Config) *Router {
 	rt := &Router{cfg: cfg.withDefaults(), started: time.Now()}
+	if rt.cfg.RouteCache >= 0 {
+		rt.cache = core.NewRouteCache(rt.cfg.RouteCache)
+	}
 	rt.upstream.Store(rt.cfg.Upstreams[0])
 	rt.notify = make(chan struct{})
 	rt.met.query.Route = "POST /v1/query"
@@ -374,7 +387,7 @@ func (rt *Router) AnswerQuery(raw []string, sc *api.Scratch) (resp api.QueryResp
 	if v == nil {
 		return api.QueryResponse{}, false
 	}
-	return api.AnswerQuery(v.terms, v.routing, raw, sc), true
+	return api.AnswerQuery(v.terms, v.routing, rt.cache, raw, sc), true
 }
 
 // Handler returns the router's HTTP handler: the v1 data plane plus
@@ -403,7 +416,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rt.notReady(w)
 		return
 	}
-	rt.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing)))
+	rt.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing, rt.cache)))
 }
 
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -412,7 +425,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		rt.notReady(w)
 		return
 	}
-	rt.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing)))
+	rt.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing, rt.cache)))
 }
 
 // handleStats reports the router's replication position and endpoint
@@ -427,6 +440,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"delta_syncs":    rt.deltaSyncs.Load(),
 		"sync_errors":    rt.syncErrors.Load(),
 		"queries_served": rt.served.Load(),
+		"route_cache":    api.CacheStatsMap(rt.cache),
 		"uptime_seconds": time.Since(rt.started).Seconds(),
 		"endpoints": map[string]any{
 			"query":       rt.met.query.Snapshot(),

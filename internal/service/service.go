@@ -148,6 +148,13 @@ type Config struct {
 	// workload has fewer distinct queries than this (tiny workloads
 	// flap around any ratio); 0 means the default 64.
 	CompactMinQueries int
+	// RouteCache sizes the view-epoch hot-query result cache the data
+	// plane consults (entries; rounded up to a power of two). 0 means
+	// the default 4096; a negative value disables caching so every
+	// query routes from scratch. Cached answers are byte-identical to
+	// uncached ones by construction (entries are keyed to the exact
+	// published view), so this is purely a performance knob.
+	RouteCache int
 	// Join, when non-empty, starts the server as a replication
 	// follower of the listed base URLs (rotated on failure; usually
 	// the leader first, then sibling followers as relays). A follower
@@ -218,6 +225,12 @@ type Server struct {
 	// stepHook, when set (tests only), runs between maintenance steps
 	// with the mutation lock released.
 	stepHook func()
+
+	// routeCache is the view-epoch hot-query result cache the data
+	// plane consults (nil when Config.RouteCache < 0). Entries are
+	// keyed to the exact *RoutingView they were computed against, so
+	// every publication invalidates wholesale with no coordination.
+	routeCache *core.RouteCache
 
 	// view is the atomically published read snapshot; ring retains the
 	// last viewRing publications as delta bases for /v1/view/watch and
@@ -307,6 +320,9 @@ func New(cfg Config) *Server {
 		stop:    make(chan struct{}),
 	}
 	s.met.init()
+	if cfg.RouteCache >= 0 {
+		s.routeCache = core.NewRouteCache(cfg.RouteCache)
+	}
 	s.replLog = replog.NewLog()
 	s.epoch = newEpoch()
 	// No follow loop yet: done is pre-closed and cancel a no-op, so
@@ -759,7 +775,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.loadView()
-	s.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing)))
+	s.served.Add(int64(api.ServeQuery(w, r, v.terms, v.routing, s.routeCache)))
 }
 
 // dataReady gates the data plane on a follower that has not installed
@@ -784,7 +800,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.loadView()
-	s.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing)))
+	s.served.Add(int64(api.ServeQueryBatch(w, r, v.terms, v.routing, s.routeCache)))
 }
 
 // Long-poll bounds for GET /v1/view/watch.
@@ -914,6 +930,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"joins":             s.joins.Load(),
 		"leaves":            s.leaves.Load(),
 		"queries_served":    s.served.Load(),
+		"route_cache":       api.CacheStatsMap(s.routeCache),
 		"published_views":   s.publishes.Load(),
 		"view_seq":          v.seq,
 		"pop_version":       v.routing.PopVersion(),
